@@ -1,0 +1,97 @@
+"""Minimal in-tree PEP 517 build backend.
+
+The execution environment has no network access and a setuptools without
+the ``wheel`` package, so the standard backends cannot produce the PEP 660
+editable wheel that ``pip install -e .`` requires.  This backend builds
+the needed wheels directly with the standard library:
+
+* ``build_editable`` — a wheel containing a ``.pth`` file pointing at
+  ``src/`` (the classic editable mechanism);
+* ``build_wheel`` — a regular wheel bundling ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "0.1.0"
+TAG = "py3-none-any"
+DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+
+METADATA = f"""\
+Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: SibylFS reproduction: executable POSIX file-system specification and test oracle
+Requires-Python: >=3.9
+"""
+
+WHEEL_META = f"""\
+Wheel-Version: 1.0
+Generator: repro-in-tree-backend
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+
+def _record_line(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(
+        hashlib.sha256(data).digest()).rstrip(b"=").decode("ascii")
+    return f"{name},sha256={digest},{len(data)}"
+
+
+def _write_wheel(path: str, files: dict) -> None:
+    record_name = f"{DIST_INFO}/RECORD"
+    lines = [_record_line(name, data) for name, data in files.items()]
+    lines.append(f"{record_name},,")
+    files = dict(files)
+    files[record_name] = ("\n".join(lines) + "\n").encode("utf-8")
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+
+
+def _dist_info_files() -> dict:
+    return {
+        f"{DIST_INFO}/METADATA": METADATA.encode("utf-8"),
+        f"{DIST_INFO}/WHEEL": WHEEL_META.encode("utf-8"),
+    }
+
+
+def build_editable(wheel_directory, config_settings=None,
+                   metadata_directory=None):
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "src"))
+    files = _dist_info_files()
+    files[f"_{NAME}_editable.pth"] = (src + "\n").encode("utf-8")
+    filename = f"{NAME}-{VERSION}-{TAG}.whl"
+    _write_wheel(os.path.join(wheel_directory, filename), files)
+    return filename
+
+
+def build_wheel(wheel_directory, config_settings=None,
+                metadata_directory=None):
+    root = os.path.join(os.path.dirname(__file__), "src")
+    files = _dist_info_files()
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fname in sorted(filenames):
+            if fname.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(dirpath, fname)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                files[rel] = fh.read()
+    filename = f"{NAME}-{VERSION}-{TAG}.whl"
+    _write_wheel(os.path.join(wheel_directory, filename), files)
+    return filename
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []

@@ -1,0 +1,45 @@
+"""Figure 8: the OpenZFS-on-OS-X unkillable-spin call sequence.
+
+The four-call sequence of the paper's Fig. 8 sends OpenZFS 1.3.0 on
+OS X 10.9.5 into a 100%-CPU, signal-ignoring loop.  The bench executes
+the sequence on the ``osx_openzfs`` configuration (where the oracle must
+report the spin) and on stock ``osx_hfsplus`` (where the same sequence
+is clean).
+"""
+
+from conftest import record_table
+
+from repro.checker import check_trace, render_checked_trace
+from repro.core.platform import OSX_SPEC
+from repro.executor import execute_script
+from repro.fsimpl import config_by_name
+from repro.script import parse_script
+
+FIG8 = """\
+@type script
+# Test fig8_openzfs_spin
+mkdir "deserted" 0o700
+chdir "deserted"
+rmdir "../deserted"
+open "party" [O_CREAT;O_RDONLY] 0o600
+"""
+
+
+def _run(cfg_name):
+    script = parse_script(FIG8)
+    trace = execute_script(config_by_name(cfg_name), script)
+    return check_trace(OSX_SPEC, trace)
+
+
+def test_fig8_zfs_spin(benchmark):
+    checked_zfs = benchmark(_run, "osx_openzfs")
+    checked_hfs = _run("osx_hfsplus")
+    assert not checked_zfs.accepted
+    assert any(dev.kind == "spin" for dev in checked_zfs.deviations)
+    assert checked_hfs.accepted
+    record_table(
+        "fig8_zfs_spin",
+        "osx_openzfs (defective):\n"
+        + render_checked_trace(checked_zfs)
+        + "\nosx_hfsplus (clean):\n"
+        + render_checked_trace(checked_hfs))

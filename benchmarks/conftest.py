@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 5 for the index).  Generated tables
+are printed and also written to ``benchmarks/results/`` so that
+EXPERIMENTS.md can cite them.
+
+Environment knobs:
+
+* ``SIBYLFS_SUITE_SCALE`` — multiplies the generated suite (default 1);
+  the paper's 21 070-script population corresponds to roughly scale 7.
+* ``SIBYLFS_BENCH_SUBSET`` — cap on the number of scripts used by the
+  timing benchmarks (default 400), keeping wall-clock reasonable.
+"""
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SUITE_SCALE = int(os.environ.get("SIBYLFS_SUITE_SCALE", "1"))
+BENCH_SUBSET = int(os.environ.get("SIBYLFS_BENCH_SUBSET", "400"))
+
+
+def record_table(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    from repro.testgen import generate_suite
+    return generate_suite(scale=SUITE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_suite(full_suite):
+    """A deterministic, representative slice for timing benchmarks."""
+    if len(full_suite) <= BENCH_SUBSET:
+        return full_suite
+    step = len(full_suite) // BENCH_SUBSET
+    return full_suite[::step][:BENCH_SUBSET]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Sysadmin scenario: comparing SSHFS mount options (paper §7.3.4).
+
+"An organization's system administrator might consider deploying a
+shared SSHFS/tmpfs mount to their users and wonder what mount options to
+use."  This example compares the four SSHFS configurations on the
+questions an administrator cares about, and reaches the paper's
+conclusion: none of the option combinations is adequate for a shared
+mount.
+
+A subtlety the probe surfaces: because SSHFS forces creation ownership
+to the mount owner (root), enabling ``default_permissions`` means a user
+can be locked out of a private directory *she just created*.
+
+Run:  python examples/sshfs_mount_options.py
+"""
+
+from repro import KernelFS, config_by_name
+from repro.core import commands as C
+from repro.core.flags import OpenFlag
+from repro.core.values import Ok
+
+CONFIGS = [
+    "linux_sshfs_tmpfs",
+    "linux_sshfs_allow_other",
+    "linux_sshfs_allow_other_default_permissions",
+    "linux_sshfs_umask0000",
+]
+
+
+def probe(config_name: str) -> dict:
+    kernel = KernelFS(config_by_name(config_name))
+    kernel.create_process(1, 0, 0)  # the mount owner (root)
+    kernel.call(1, C.Chmod("/", 0o777))
+    kernel.create_process(2, 1000, 1000)  # alice
+    kernel.create_process(3, 1001, 1001)  # bob
+
+    # alice sets up a private 0700 directory for her secrets.
+    kernel.call(2, C.Mkdir("alice", 0o700))
+    created = kernel.call(2, C.Open(
+        "alice/secret", OpenFlag.O_CREAT | OpenFlag.O_WRONLY, 0o600))
+    alice_locked_out = not isinstance(created, Ok)
+
+    # Can bob read alice's secret (when it exists)?
+    bob_reads = isinstance(
+        kernel.call(3, C.Open("alice/secret", OpenFlag.O_RDONLY,
+                              0o644)), Ok)
+
+    # Who owns what alice creates?
+    stat = kernel.call(2, C.StatCmd("alice")).value.stat
+    owner_is_root = stat.uid == 0
+
+    # Does alice's umask do what she expects?  (Probed at the share
+    # root, which the admin made world-writable.)
+    kernel.call(2, C.Umask(0o000))
+    kernel.call(2, C.Open("umask_probe",
+                          OpenFlag.O_CREAT | OpenFlag.O_WRONLY, 0o666))
+    mode = kernel.call(2, C.StatCmd("umask_probe")).value.stat.mode
+    return {
+        "alice_locked_out": alice_locked_out,
+        "bob_reads_secret": bob_reads,
+        "creation_owned_by_root": owner_is_root,
+        "mode_with_umask_0": oct(mode),
+    }
+
+
+def main() -> None:
+    print("probing SSHFS/tmpfs mount configurations "
+          "(paper section 7.3.4)\n")
+    header = (f"{'configuration':<46}{'alice locked out':<18}"
+              f"{'bob reads secret':<18}{'root-owned':<12}"
+              "mode(umask 0)")
+    print(header)
+    print("-" * len(header))
+    for name in CONFIGS:
+        result = probe(name)
+        print(f"{name:<46}"
+              f"{str(result['alice_locked_out']):<18}"
+              f"{str(result['bob_reads_secret']):<18}"
+              f"{str(result['creation_owned_by_root']):<12}"
+              f"{result['mode_with_umask_0']}")
+
+    print("""
+Conclusions (matching the paper):
+ * allow_other alone is dangerous: users can violate permissions
+   (bob reads alice's 0600 secret);
+ * default_permissions enforces modes — but creation ownership is
+   unconfigurably the mount owner (root), so alice is locked out of
+   the private directory she just made;
+ * without a umask mount option, a user's umask is ORed with 0022;
+   with umask=0000 the user's umask is ignored entirely.
+=> reject SSHFS/tmpfs for this deployment scenario.""")
+
+
+if __name__ == "__main__":
+    main()

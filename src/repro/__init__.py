@@ -1,0 +1,55 @@
+"""SibylFS reproduction: an executable POSIX file-system specification
+and oracle-based testing toolkit.
+
+This package reproduces the system of *SibylFS: formal specification and
+oracle-based testing for POSIX and real-world file systems* (Ridge et
+al., SOSP 2015) in Python:
+
+* :mod:`repro.state`, :mod:`repro.pathres`, :mod:`repro.fsops`,
+  :mod:`repro.osapi` -- the four-module model (paper Fig. 5), a labelled
+  transition system over immutable states, parameterised by platform
+  (POSIX / Linux / OS X / FreeBSD) and traits (permissions, timestamps);
+* :mod:`repro.checker` -- the test oracle: state-set trace checking with
+  diagnostics;
+* :mod:`repro.testgen` -- equivalence-partitioning test generation;
+* :mod:`repro.executor` and :mod:`repro.fsimpl` -- the test executor and
+  the simulated implementations-under-test (~40 configurations
+  reproducing the paper's survey, including its documented defects);
+* :mod:`repro.harness` -- suite runs, coverage, merging and reports.
+
+Quick start::
+
+    from repro import check_trace, parse_trace, spec_by_name
+
+    trace = parse_trace(open("some.trace").read())
+    checked = check_trace(spec_by_name("linux"), trace)
+    print(checked.accepted)
+"""
+
+from repro.core import (Errno, OpenFlag, PlatformSpec, SeekWhence, Stat,
+                        spec_by_name)
+from repro.checker import TraceChecker, check_trace, render_checked_trace
+from repro.script import (parse_script, parse_trace, print_script,
+                          print_trace)
+from repro.executor import execute_script
+from repro.fsimpl import (ALL_CONFIGS, KernelFS, Quirks, ReferenceFS,
+                          config_by_name)
+from repro.testgen import generate_suite
+from repro.harness import (measure_coverage, merge_results,
+                           render_merge, render_suite_result,
+                           render_summary_table, run_and_check)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Errno", "OpenFlag", "PlatformSpec", "SeekWhence", "Stat",
+    "spec_by_name",
+    "TraceChecker", "check_trace", "render_checked_trace",
+    "parse_script", "parse_trace", "print_script", "print_trace",
+    "execute_script",
+    "ALL_CONFIGS", "KernelFS", "Quirks", "ReferenceFS", "config_by_name",
+    "generate_suite",
+    "measure_coverage", "merge_results", "render_merge",
+    "render_suite_result", "render_summary_table", "run_and_check",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""The trace checker: SibylFS's test-oracle mode.
+
+Steps a *set* of model states through a trace of labels; an empty set at
+any step means the observed behaviour is outside the model's envelope.
+On a non-conformant step the checker emits a diagnostic naming the
+allowed return values and continues checking under the assumption that
+one of them occurred (paper Fig. 4).
+"""
+
+from repro.checker.checker import (CheckedTrace, Deviation, TraceChecker,
+                                   check_trace)
+from repro.checker.diagnostics import render_checked_trace
+
+__all__ = ["CheckedTrace", "Deviation", "TraceChecker", "check_trace",
+           "render_checked_trace"]

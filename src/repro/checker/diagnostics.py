@@ -1,0 +1,51 @@
+"""Rendering of checked traces (paper Fig. 4).
+
+For conformant steps the checked trace resembles the original; for
+non-conformant steps an error comment block names the observed and
+allowed results and notes that checking continued.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.checker.checker import CheckedTrace
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsReturn,
+                               OsSignal, OsSpin)
+
+
+def render_checked_trace(checked: CheckedTrace) -> str:
+    """Render a checked trace in the format of paper Fig. 4."""
+    by_line: Dict[int, List] = {}
+    for dev in checked.deviations:
+        by_line.setdefault(dev.line_no, []).append(dev)
+
+    lines: List[str] = ["@type trace", f"# Test {checked.trace.name}"]
+    for event in checked.trace.events:
+        label = event.label
+        if isinstance(label, OsCreate):
+            lines.append(f"@process create p{label.pid} uid={label.uid} "
+                         f"gid={label.gid}")
+        elif isinstance(label, OsDestroy):
+            lines.append(f"@process destroy p{label.pid}")
+        elif isinstance(label, OsCall):
+            prefix = f"p{label.pid}: " if label.pid != 1 else ""
+            lines.append(f"{event.line_no}: {prefix}{label.cmd.render()}")
+        elif isinstance(label, OsReturn):
+            prefix = f"p{label.pid}: " if label.pid != 1 else ""
+            lines.append(prefix + label.ret.render())
+        elif isinstance(label, (OsSignal, OsSpin)):
+            lines.append(label.render())
+        for dev in by_line.get(event.line_no, []):
+            lines.append(f"# Error: {dev.line_no}: {dev.observed}")
+            lines.append(f"# {dev.message}")
+            if dev.allowed:
+                allowed = ", ".join(dev.allowed)
+                lines.append(f"# allowed are only: {allowed}")
+                lines.append(f"# continuing with {allowed}")
+            else:
+                lines.append("# continuing")
+    status = "accepted" if checked.accepted else \
+        f"REJECTED ({len(checked.deviations)} deviation(s))"
+    lines.append(f"# Check result: {status}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,228 @@
+"""Command-line interface: the turnkey black-box test setup.
+
+The paper positions SibylFS as usable "routinely (with low effort for
+the user)" during development and continuous integration.  This CLI
+packages the pipeline accordingly::
+
+    python -m repro check TRACE --model linux
+    python -m repro exec SCRIPT --config linux_ext4 [--check]
+    python -m repro gen --out DIR [--scale N]
+    python -m repro run --config linux_sshfs_tmpfs [--html report.html]
+    python -m repro survey
+    python -m repro coverage --config linux_ext4
+    python -m repro portability TRACE
+    python -m repro reduce SCRIPT --config linux_sshfs_tmpfs
+    python -m repro debug TRACE --model posix
+    python -m repro configs
+
+Exit status: 0 if everything checked conformant, 1 otherwise (suitable
+for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.checker import TraceChecker, render_checked_trace
+from repro.core.platform import SPECS, spec_by_name
+from repro.executor import execute_script
+from repro.fsimpl import ALL_CONFIGS, config_by_name
+from repro.harness import (measure_coverage, merge_results, render_merge,
+                           render_suite_result, render_summary_table,
+                           run_and_check)
+from repro.harness.debug import debug_trace, render_debug
+from repro.harness.html import render_html_report
+from repro.harness.portability import analyse_portability
+from repro.harness.reduce import reduce_script
+from repro.harness.run import check_traces, execute_suite
+from repro.script import (parse_script, parse_trace, print_script,
+                          print_trace)
+from repro.testgen import generate_suite
+
+
+def _read(path: str) -> str:
+    return pathlib.Path(path).read_text()
+
+
+def _cmd_check(args) -> int:
+    trace = parse_trace(_read(args.trace))
+    checked = TraceChecker(spec_by_name(args.model)).check(trace)
+    print(render_checked_trace(checked), end="")
+    return 0 if checked.accepted else 1
+
+
+def _cmd_exec(args) -> int:
+    script = parse_script(_read(args.script))
+    trace = execute_script(config_by_name(args.config), script)
+    print(print_trace(trace), end="")
+    if args.check:
+        model = args.model or config_by_name(args.config).platform
+        checked = TraceChecker(spec_by_name(model)).check(trace)
+        print(render_checked_trace(checked), end="")
+        return 0 if checked.accepted else 1
+    return 0
+
+
+def _cmd_gen(args) -> int:
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    suite = generate_suite(scale=args.scale)
+    for script in suite:
+        (out / f"{script.name}.script").write_text(
+            print_script(script))
+    print(f"wrote {len(suite)} scripts to {out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    suite = generate_suite(scale=args.scale)
+    if args.limit:
+        suite = suite[: args.limit]
+    result = run_and_check(args.config, suite, model=args.model,
+                           processes=args.processes)
+    print(render_suite_result(result))
+    if args.html:
+        quirks = config_by_name(args.config)
+        traces = execute_suite(quirks, suite)
+        checked = check_traces(result.model, traces,
+                               processes=args.processes)
+        pathlib.Path(args.html).write_text(render_html_report(
+            f"{args.config} vs {result.model} model", checked))
+        print(f"HTML report written to {args.html}")
+    return 0 if not result.failing else 1
+
+
+def _cmd_survey(args) -> int:
+    suite = generate_suite()
+    if args.limit:
+        suite = suite[: args.limit]
+    configs = ([config_by_name(n) for n in args.configs.split(",")]
+               if args.configs else ALL_CONFIGS)
+    results = [run_and_check(cfg, suite, processes=args.processes)
+               for cfg in configs]
+    print(render_summary_table(results))
+    print()
+    print(render_merge(merge_results(results)))
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    suite = generate_suite()
+    report = measure_coverage(args.config, suite, model=args.model)
+    print(report.render())
+    return 0
+
+
+def _cmd_portability(args) -> int:
+    report = analyse_portability(parse_trace(_read(args.trace)))
+    print(report.render())
+    return 0 if report.portable else 1
+
+
+def _cmd_reduce(args) -> int:
+    from repro.harness.reduce import script_fails
+
+    script = parse_script(_read(args.script))
+    if not script_fails(args.config, script, model=args.model):
+        print("# script does not fail on this configuration; "
+              "nothing to reduce", file=sys.stderr)
+        return 1
+    reduced = reduce_script(args.config, script, model=args.model)
+    print(print_script(reduced), end="")
+    return 0
+
+
+def _cmd_debug(args) -> int:
+    trace = parse_trace(_read(args.trace))
+    steps = debug_trace(spec_by_name(args.model), trace)
+    print(render_debug(steps))
+    return 0 if all(step.matched for step in steps) else 1
+
+
+def _cmd_configs(_args) -> int:
+    for cfg in ALL_CONFIGS:
+        print(f"{cfg.name:<46} [{cfg.platform}]  {cfg.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SibylFS reproduction: oracle-based file-system "
+                    "testing")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="check a trace against a model")
+    p.add_argument("trace")
+    p.add_argument("--model", default="posix", choices=sorted(SPECS))
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("exec", help="execute a script on a "
+                                    "configuration")
+    p.add_argument("script")
+    p.add_argument("--config", required=True)
+    p.add_argument("--check", action="store_true")
+    p.add_argument("--model", default=None)
+    p.set_defaults(func=_cmd_exec)
+
+    p = sub.add_parser("gen", help="write the generated suite to disk")
+    p.add_argument("--out", required=True)
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser("run", help="generate, execute and check a "
+                                   "whole suite")
+    p.add_argument("--config", required=True)
+    p.add_argument("--model", default=None)
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--limit", type=int, default=0)
+    p.add_argument("--processes", type=int, default=1)
+    p.add_argument("--html", default=None)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("survey", help="run all configurations and "
+                                      "merge deviations")
+    p.add_argument("--configs", default=None,
+                   help="comma-separated subset")
+    p.add_argument("--limit", type=int, default=0)
+    p.add_argument("--processes", type=int, default=1)
+    p.set_defaults(func=_cmd_survey)
+
+    p = sub.add_parser("coverage", help="measure model coverage")
+    p.add_argument("--config", default="linux_ext4")
+    p.add_argument("--model", default=None)
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("portability",
+                       help="which platforms allow a trace?")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_portability)
+
+    p = sub.add_parser("reduce", help="shrink a failing script")
+    p.add_argument("script")
+    p.add_argument("--config", required=True)
+    p.add_argument("--model", default=None)
+    p.set_defaults(func=_cmd_reduce)
+
+    p = sub.add_parser("debug", help="show the tracked state set at "
+                                     "every step")
+    p.add_argument("trace")
+    p.add_argument("--model", default="posix", choices=sorted(SPECS))
+    p.set_defaults(func=_cmd_debug)
+
+    p = sub.add_parser("configs", help="list the survey configurations")
+    p.set_defaults(func=_cmd_configs)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

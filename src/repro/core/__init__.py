@@ -1,0 +1,30 @@
+"""Core types of the SibylFS model: errors, values, commands, labels,
+platform parameterisation, the specification monad, and coverage
+instrumentation.
+"""
+
+from repro.core.errors import Errno, errno_by_name
+from repro.core.flags import (FileKind, OpenFlag, SeekWhence,
+                              parse_open_flags, print_open_flags)
+from repro.core.values import (Err, Ok, ReturnValue, RvBytes, RvDirEntry,
+                               RvNone, RvNum, RvStat, Special, Stat,
+                               render_return)
+from repro.core.commands import OsCommand, command_name
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsLabel,
+                               OsReturn, OsSignal, OsSpin, OsTau)
+from repro.core.platform import (FREEBSD_SPEC, LINUX_SPEC, OSX_SPEC,
+                                 POSIX_SPEC, PlatformSpec, spec_by_name,
+                                 with_timestamps, without_permissions)
+
+__all__ = [
+    "Errno", "errno_by_name",
+    "FileKind", "OpenFlag", "SeekWhence", "parse_open_flags",
+    "print_open_flags",
+    "Err", "Ok", "ReturnValue", "RvBytes", "RvDirEntry", "RvNone", "RvNum",
+    "RvStat", "Special", "Stat", "render_return",
+    "OsCommand", "command_name",
+    "OsCall", "OsCreate", "OsDestroy", "OsLabel", "OsReturn", "OsSignal",
+    "OsSpin", "OsTau",
+    "PlatformSpec", "POSIX_SPEC", "LINUX_SPEC", "OSX_SPEC", "FREEBSD_SPEC",
+    "spec_by_name", "without_permissions", "with_timestamps",
+]

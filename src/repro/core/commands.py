@@ -1,0 +1,264 @@
+"""The modelled libc commands (the paper's ``ty_os_command``).
+
+One frozen dataclass per libc function within scope (paper section 1.1):
+close, closedir, link, lseek, lstat, mkdir, open, opendir, pread, pwrite,
+read, readdir, readlink, rename, rewinddir, rmdir, stat, symlink, truncate,
+unlink, write — plus the process-relevant chdir, chmod, chown and umask.
+
+Every command renders to the test-script syntax (paper Fig. 2) and is
+parsed back by :mod:`repro.script.parser`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+from repro.core.flags import OpenFlag, SeekWhence, print_open_flags
+
+
+def _q(path: str) -> str:
+    """Quote a path for script syntax."""
+    return '"' + path.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+@dataclasses.dataclass(frozen=True)
+class Close:
+    fd: int
+
+    def render(self) -> str:
+        return f"close {self.fd}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Closedir:
+    dh: int
+
+    def render(self) -> str:
+        return f"closedir {self.dh}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Link:
+    src: str
+    dst: str
+
+    def render(self) -> str:
+        return f"link {_q(self.src)} {_q(self.dst)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Lseek:
+    fd: int
+    offset: int
+    whence: SeekWhence
+
+    def render(self) -> str:
+        return f"lseek {self.fd} {self.offset} {self.whence.value}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LstatCmd:
+    path: str
+
+    def render(self) -> str:
+        return f"lstat {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Mkdir:
+    path: str
+    mode: int
+
+    def render(self) -> str:
+        return f"mkdir {_q(self.path)} 0o{self.mode:o}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Open:
+    path: str
+    flags: OpenFlag
+    mode: int = 0o666
+
+    def render(self) -> str:
+        return f"open {_q(self.path)} {print_open_flags(self.flags)} 0o{self.mode:o}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Opendir:
+    path: str
+
+    def render(self) -> str:
+        return f"opendir {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Pread:
+    fd: int
+    count: int
+    offset: int
+
+    def render(self) -> str:
+        return f"pread {self.fd} {self.count} {self.offset}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Pwrite:
+    fd: int
+    data: bytes
+    offset: int
+
+    def render(self) -> str:
+        return f"pwrite {self.fd} {_q(self.data.decode('utf-8'))} {self.offset}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Read:
+    fd: int
+    count: int
+
+    def render(self) -> str:
+        return f"read {self.fd} {self.count}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Readdir:
+    dh: int
+
+    def render(self) -> str:
+        return f"readdir {self.dh}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Readlink:
+    path: str
+
+    def render(self) -> str:
+        return f"readlink {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rename:
+    src: str
+    dst: str
+
+    def render(self) -> str:
+        return f"rename {_q(self.src)} {_q(self.dst)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rewinddir:
+    dh: int
+
+    def render(self) -> str:
+        return f"rewinddir {self.dh}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rmdir:
+    path: str
+
+    def render(self) -> str:
+        return f"rmdir {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class StatCmd:
+    path: str
+
+    def render(self) -> str:
+        return f"stat {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Symlink:
+    target: str
+    linkpath: str
+
+    def render(self) -> str:
+        return f"symlink {_q(self.target)} {_q(self.linkpath)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Truncate:
+    path: str
+    length: int
+
+    def render(self) -> str:
+        return f"truncate {_q(self.path)} {self.length}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Unlink:
+    path: str
+
+    def render(self) -> str:
+        return f"unlink {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Write:
+    fd: int
+    data: bytes
+
+    def render(self) -> str:
+        return f"write {self.fd} {_q(self.data.decode('utf-8'))}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Chdir:
+    path: str
+
+    def render(self) -> str:
+        return f"chdir {_q(self.path)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Chmod:
+    path: str
+    mode: int
+
+    def render(self) -> str:
+        return f"chmod {_q(self.path)} 0o{self.mode:o}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Chown:
+    path: str
+    uid: int
+    gid: int
+
+    def render(self) -> str:
+        return f"chown {_q(self.path)} {self.uid} {self.gid}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Umask:
+    mask: int
+
+    def render(self) -> str:
+        return f"umask 0o{self.mask:o}"
+
+
+OsCommand = Union[
+    Close, Closedir, Link, Lseek, LstatCmd, Mkdir, Open, Opendir, Pread,
+    Pwrite, Read, Readdir, Readlink, Rename, Rewinddir, Rmdir, StatCmd,
+    Symlink, Truncate, Unlink, Write, Chdir, Chmod, Chown, Umask,
+]
+
+#: Map from script keyword to command class, used by the parser and by the
+#: test generator when grouping scripts by targeted function.
+COMMAND_NAMES = {
+    Close: "close", Closedir: "closedir", Link: "link", Lseek: "lseek",
+    LstatCmd: "lstat", Mkdir: "mkdir", Open: "open", Opendir: "opendir",
+    Pread: "pread", Pwrite: "pwrite", Read: "read", Readdir: "readdir",
+    Readlink: "readlink", Rename: "rename", Rewinddir: "rewinddir",
+    Rmdir: "rmdir", StatCmd: "stat", Symlink: "symlink",
+    Truncate: "truncate", Unlink: "unlink", Write: "write", Chdir: "chdir",
+    Chmod: "chmod", Chown: "chown", Umask: "umask",
+}
+
+
+def command_name(cmd: OsCommand) -> str:
+    """The libc-function name a command instance corresponds to."""
+    return COMMAND_NAMES[type(cmd)]

@@ -1,0 +1,61 @@
+"""POSIX error codes used by the specification.
+
+Only the errors that can arise from the modelled file-system calls are
+included.  Per the paper's scope (section 1.2) we deliberately exclude
+``EIO``, ``ENOMEM``, ``EINTR`` and most resource-exhaustion errors — from a
+modelling perspective those could occur at any time.  ``ENOSPC`` *is*
+included because the posixovl/VFAT storage-leak reproduction (section
+7.3.5) observes it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+@enum.unique
+class Errno(enum.Enum):
+    """Error codes returnable by the modelled libc calls."""
+
+    EACCES = "EACCES"
+    EBADF = "EBADF"
+    EBUSY = "EBUSY"
+    EEXIST = "EEXIST"
+    EFBIG = "EFBIG"
+    EINVAL = "EINVAL"
+    EISDIR = "EISDIR"
+    ELOOP = "ELOOP"
+    EMLINK = "EMLINK"
+    ENAMETOOLONG = "ENAMETOOLONG"
+    ENOENT = "ENOENT"
+    ENOSPC = "ENOSPC"
+    ENOTDIR = "ENOTDIR"
+    ENOTEMPTY = "ENOTEMPTY"
+    ENXIO = "ENXIO"
+    EOPNOTSUPP = "EOPNOTSUPP"
+    EOVERFLOW = "EOVERFLOW"
+    EPERM = "EPERM"
+    EROFS = "EROFS"
+    ESPIPE = "ESPIPE"
+    EXDEV = "EXDEV"
+
+    def __repr__(self) -> str:  # compact in diagnostics
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __lt__(self, other: "Errno") -> bool:
+        # Stable ordering so diagnostics ("allowed are only: ...") print
+        # deterministically.
+        if not isinstance(other, Errno):
+            return NotImplemented
+        return self.value < other.value
+
+
+def errno_by_name(name: str) -> Errno:
+    """Look up an :class:`Errno` by its POSIX name (e.g. ``"ENOENT"``)."""
+    try:
+        return Errno[name]
+    except KeyError:
+        raise ValueError(f"unknown errno name: {name!r}") from None

@@ -1,0 +1,119 @@
+"""Flags and constant values for the modelled libc calls.
+
+These correspond to the argument types of ``ty_os_command`` in the paper's
+model: ``open`` flag bitfields, ``lseek`` whence values, and file-mode
+(permission) bits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpenFlag(enum.Flag):
+    """Flags accepted by ``open`` (the modelled subset).
+
+    ``open`` has an especially large number of generated tests precisely
+    because one of its arguments is this bitfield (paper section 6.1).
+    """
+
+    NONE = 0
+    O_RDONLY = enum.auto()
+    O_WRONLY = enum.auto()
+    O_RDWR = enum.auto()
+    O_CREAT = enum.auto()
+    O_EXCL = enum.auto()
+    O_TRUNC = enum.auto()
+    O_APPEND = enum.auto()
+    O_DIRECTORY = enum.auto()
+    O_NOFOLLOW = enum.auto()
+
+    @property
+    def wants_read(self) -> bool:
+        """True if the access mode permits reading."""
+        return bool(self & (OpenFlag.O_RDONLY | OpenFlag.O_RDWR)) or not (
+            self & (OpenFlag.O_WRONLY | OpenFlag.O_RDWR)
+        )
+
+    @property
+    def wants_write(self) -> bool:
+        """True if the access mode permits writing."""
+        return bool(self & (OpenFlag.O_WRONLY | OpenFlag.O_RDWR))
+
+
+# Parsing / printing of flag lists as they appear in test scripts, e.g.
+# ``[O_CREAT;O_WRONLY]`` (paper Fig. 2).
+_FLAG_NAMES = {
+    "O_RDONLY": OpenFlag.O_RDONLY,
+    "O_WRONLY": OpenFlag.O_WRONLY,
+    "O_RDWR": OpenFlag.O_RDWR,
+    "O_CREAT": OpenFlag.O_CREAT,
+    "O_EXCL": OpenFlag.O_EXCL,
+    "O_TRUNC": OpenFlag.O_TRUNC,
+    "O_APPEND": OpenFlag.O_APPEND,
+    "O_DIRECTORY": OpenFlag.O_DIRECTORY,
+    "O_NOFOLLOW": OpenFlag.O_NOFOLLOW,
+}
+
+
+def parse_open_flags(text: str) -> OpenFlag:
+    """Parse a script-format flag list such as ``[O_CREAT;O_WRONLY]``."""
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise ValueError(f"malformed open flag list: {text!r}")
+    body = text[1:-1].strip()
+    flags = OpenFlag.NONE
+    if not body:
+        return flags
+    for part in body.split(";"):
+        name = part.strip()
+        if name not in _FLAG_NAMES:
+            raise ValueError(f"unknown open flag: {name!r}")
+        flags |= _FLAG_NAMES[name]
+    return flags
+
+
+def print_open_flags(flags: OpenFlag) -> str:
+    """Print flags in the script format, deterministically ordered."""
+    names = [name for name, f in _FLAG_NAMES.items() if flags & f]
+    return "[" + ";".join(names) + "]"
+
+
+class SeekWhence(enum.Enum):
+    """``lseek`` whence argument."""
+
+    SEEK_SET = "SEEK_SET"
+    SEEK_CUR = "SEEK_CUR"
+    SEEK_END = "SEEK_END"
+
+
+# -- permission bits ---------------------------------------------------------
+
+S_IRUSR = 0o400
+S_IWUSR = 0o200
+S_IXUSR = 0o100
+S_IRGRP = 0o040
+S_IWGRP = 0o020
+S_IXGRP = 0o010
+S_IROTH = 0o004
+S_IWOTH = 0o002
+S_IXOTH = 0o001
+
+MODE_MASK = 0o7777
+
+#: Permission bits checked during access control, by (who, kind).
+R_BITS = (S_IRUSR, S_IRGRP, S_IROTH)
+W_BITS = (S_IWUSR, S_IWGRP, S_IWOTH)
+X_BITS = (S_IXUSR, S_IXGRP, S_IXOTH)
+
+
+class FileKind(enum.Enum):
+    """The file types within the model's scope.
+
+    FIFOs, sockets and device special files are out of scope (paper
+    section 1.2).
+    """
+
+    REGULAR = "S_IFREG"
+    DIRECTORY = "S_IFDIR"
+    SYMLINK = "S_IFLNK"

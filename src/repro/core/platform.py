@@ -1,0 +1,216 @@
+"""Platform parameterisation of the model (paper contribution point 2).
+
+The model currently supports four primary modes — POSIX, Linux, OS X and
+FreeBSD — plus traits that can be mixed in (permissions, timestamps).
+Without this parameterisation a single behavioural difference (e.g. in
+path resolution) would give rise to thousands of individual test-result
+discrepancies.
+
+A :class:`PlatformSpec` is a frozen bag of behaviour switches consulted by
+the path-resolution and file-system modules.  The POSIX spec is the
+*loosest*: wherever POSIX makes behaviour implementation-defined or allows
+several errors, the POSIX spec admits the union of the platform
+behaviours.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet
+
+from repro.core.errors import Errno
+
+
+class LinkSymlinkBehaviour(enum.Enum):
+    """What ``link`` does when the source resolves to a symlink.
+
+    POSIX leaves this implementation-defined (paper section 7.3.2): Linux
+    hard-links the symlink itself, OS X follows the symlink, and the POSIX
+    mode allows either.
+    """
+
+    LINK_THE_SYMLINK = "link_the_symlink"
+    FOLLOW_THE_SYMLINK = "follow_the_symlink"
+    EITHER = "either"
+
+
+class TimestampMode(enum.Enum):
+    """Timestamps trait: disabled, or updated immediately on each call.
+
+    The paper also describes a *periodic* mode, but notes that checking it
+    is excessively nondeterministic and it is largely untested; we model
+    OFF and IMMEDIATE.
+    """
+
+    OFF = "off"
+    IMMEDIATE = "immediate"
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformSpec:
+    """The behaviour switches that define one variant of the model."""
+
+    name: str
+
+    # -- traits ("core with/without permissions", timestamps) ---------------
+    permissions_enabled: bool = True
+    timestamps: TimestampMode = TimestampMode.OFF
+
+    # -- checking parameters ---------------------------------------------------
+    #: Bound on possible-next-state enumeration for partial reads and
+    #: writes.  The model allows a read/write of n bytes to transfer any
+    #: k in 1..n; enumerating every k is quadratic for large transfers
+    #: (the cost the paper notes for "tests with large reads or
+    #: writes").  The enumeration keeps every k up to this bound plus
+    #: the full count n — the compact form of the paper's suggested
+    #: continuation refactoring.
+    partial_io_bound: int = 64
+
+    # -- path resolution ------------------------------------------------------
+    #: Maximum symlink expansions before ELOOP.
+    symlink_loop_limit: int = 40
+    #: Whether a trailing slash on a path whose final component is a
+    #: symlink-to-a-directory forces the symlink to be followed even for
+    #: calls that normally operate on the symlink itself (lstat, readlink).
+    trailing_slash_follows_final_symlink: bool = True
+    #: OS X quirk: ``readlink s2/`` where s2 is a symlink to a symlink
+    #: returns the contents of the *intermediate* symlink rather than
+    #: resolving fully (paper section 7.3.2).
+    readlink_trailing_slash_reads_intermediate: bool = False
+
+    # -- per-command error envelopes ----------------------------------------
+    #: Errors allowed for ``unlink`` of a directory.  POSIX says EPERM;
+    #: Linux follows the LSB and returns EISDIR (paper section 7.3.2).
+    unlink_dir_errors: FrozenSet[Errno] = frozenset({Errno.EPERM})
+    #: Errors allowed when renaming the root directory.  POSIX allows
+    #: EBUSY or EINVAL; OS X returns EISDIR (paper section 7.3.2).
+    rename_root_errors: FrozenSet[Errno] = frozenset(
+        {Errno.EBUSY, Errno.EINVAL})
+    #: Errors allowed when removing the root directory.
+    rmdir_root_errors: FrozenSet[Errno] = frozenset(
+        {Errno.EBUSY, Errno.EINVAL, Errno.ENOTEMPTY})
+    #: Errors allowed when an operation requires an empty directory but
+    #: finds a non-empty one (rmdir, rename onto a non-empty directory).
+    #: POSIX allows EEXIST or ENOTEMPTY; the modelled platforms use
+    #: ENOTEMPTY.
+    notempty_errors: FrozenSet[Errno] = frozenset({Errno.ENOTEMPTY})
+    #: Errors allowed for ``link`` when the *destination* path names an
+    #: existing file via a trailing slash, e.g. ``link /dir/ /f.txt/``.
+    #: One might expect ENOTDIR; Linux returns EEXIST (section 7.3.2).
+    link_trailing_slash_file_errors: FrozenSet[Errno] = frozenset(
+        {Errno.ENOTDIR})
+    #: Behaviour of ``link`` on a symlink source.
+    link_on_symlink: LinkSymlinkBehaviour = LinkSymlinkBehaviour.EITHER
+    #: Errors allowed for ``open`` with O_CREAT|O_DIRECTORY|O_EXCL on a
+    #: symlink to an existing directory.  POSIX: EEXIST.  FreeBSD: ENOTDIR
+    #: (and, as a defect beyond its own envelope, clobbers the symlink —
+    #: section 7.3.2).
+    open_excl_dir_symlink_errors: FrozenSet[Errno] = frozenset(
+        {Errno.EEXIST})
+
+    # -- platform conventions -------------------------------------------------
+    #: Linux convention: ``pwrite`` on an fd opened with O_APPEND ignores
+    #: the offset and appends (section 7.3.3).
+    pwrite_append_ignores_offset: bool = False
+    #: Whether writing zero bytes to a bad (but numerically valid) file
+    #: descriptor may return 0 instead of EBADF — implementation-defined,
+    #: and one of the acceptable variations listed in section 7.2.
+    write_zero_bad_fd_may_succeed: bool = False
+    #: Mode bits assigned to newly created symlinks (platform-specific;
+    #: POSIX leaves symlink permissions implementation-defined).
+    symlink_default_mode: int = 0o777
+    #: Whether the process umask is applied to new symlinks (OS X does,
+    #: Linux does not).
+    symlink_umask_applies: bool = False
+
+    def allows(self, *names: str) -> bool:
+        """True if this spec is one of the named platforms.
+
+        Convenience used by specification clauses that special-case a
+        platform, mirroring the paper's per-platform clause annotations.
+        """
+        return self.name in names
+
+
+def _loosest(*errsets: FrozenSet[Errno]) -> FrozenSet[Errno]:
+    out: set[Errno] = set()
+    for s in errsets:
+        out |= s
+    return frozenset(out)
+
+
+LINUX_SPEC = PlatformSpec(
+    name="linux",
+    unlink_dir_errors=frozenset({Errno.EISDIR}),
+    link_trailing_slash_file_errors=frozenset({Errno.ENOTDIR, Errno.EEXIST}),
+    link_on_symlink=LinkSymlinkBehaviour.LINK_THE_SYMLINK,
+    pwrite_append_ignores_offset=True,
+    write_zero_bad_fd_may_succeed=True,
+    symlink_default_mode=0o777,
+)
+
+OSX_SPEC = PlatformSpec(
+    name="osx",
+    rename_root_errors=frozenset({Errno.EISDIR}),
+    link_on_symlink=LinkSymlinkBehaviour.FOLLOW_THE_SYMLINK,
+    readlink_trailing_slash_reads_intermediate=True,
+    symlink_default_mode=0o755,
+    symlink_umask_applies=True,
+)
+
+FREEBSD_SPEC = PlatformSpec(
+    name="freebsd",
+    open_excl_dir_symlink_errors=frozenset({Errno.ENOTDIR}),
+    link_on_symlink=LinkSymlinkBehaviour.LINK_THE_SYMLINK,
+    symlink_default_mode=0o755,
+)
+
+#: The POSIX mode is the loosest envelope: anywhere the standard leaves
+#: behaviour unspecified or implementation-defined, it admits the union of
+#: the real-world platform behaviours.
+POSIX_SPEC = PlatformSpec(
+    name="posix",
+    unlink_dir_errors=_loosest(
+        frozenset({Errno.EPERM}), LINUX_SPEC.unlink_dir_errors),
+    rename_root_errors=_loosest(
+        frozenset({Errno.EBUSY, Errno.EINVAL}), OSX_SPEC.rename_root_errors),
+    link_trailing_slash_file_errors=_loosest(
+        frozenset({Errno.ENOTDIR}),
+        LINUX_SPEC.link_trailing_slash_file_errors),
+    link_on_symlink=LinkSymlinkBehaviour.EITHER,
+    open_excl_dir_symlink_errors=frozenset({Errno.EEXIST}),
+    write_zero_bad_fd_may_succeed=True,
+    notempty_errors=frozenset({Errno.ENOTEMPTY, Errno.EEXIST}),
+)
+
+SPECS = {
+    "posix": POSIX_SPEC,
+    "linux": LINUX_SPEC,
+    "osx": OSX_SPEC,
+    "freebsd": FREEBSD_SPEC,
+}
+
+
+def spec_by_name(name: str) -> PlatformSpec:
+    """Look up one of the four primary model variants by name."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; expected one of {sorted(SPECS)}"
+        ) from None
+
+
+def without_permissions(spec: PlatformSpec) -> PlatformSpec:
+    """The "core without permissions" trait combination (paper section 4).
+
+    Permission information is ignored and all files are accessible by all
+    users.
+    """
+    return dataclasses.replace(spec, permissions_enabled=False)
+
+
+def with_timestamps(spec: PlatformSpec) -> PlatformSpec:
+    """Mix in the timestamps trait in immediate mode."""
+    return dataclasses.replace(spec, timestamps=TimestampMode.IMMEDIATE)

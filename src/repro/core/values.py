@@ -1,0 +1,147 @@
+"""Return values and outcomes of modelled libc calls.
+
+The model's ``OS_RETURN`` label carries an ``error_or_value``: either an
+:class:`~repro.core.errors.Errno` or a success value (``RV_none``,
+``RV_num``, ``RV_bytes``, ...).  The checker compares observed return
+values against the values allowed by the model, so these types implement
+value equality and a stable script/trace syntax (paper Figs. 3 and 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+
+
+@dataclasses.dataclass(frozen=True)
+class Stat:
+    """The subset of ``struct stat`` that the model specifies.
+
+    ``nlink`` is optional because several real-world file systems do not
+    maintain link counts (Btrfs and SSHFS for directories; SSHFS for
+    regular files — paper section 7.3.2); the checker reports a deviation
+    when the model requires a count the implementation cannot provide.
+    """
+
+    kind: FileKind
+    size: int
+    nlink: Optional[int]
+    uid: int
+    gid: int
+    mode: int
+
+    def render(self) -> str:
+        nlink = "-" if self.nlink is None else str(self.nlink)
+        return (f"{{kind={self.kind.value}; size={self.size}; "
+                f"nlink={nlink}; uid={self.uid}; gid={self.gid}; "
+                f"mode=0o{self.mode:o}}}")
+
+
+@dataclasses.dataclass(frozen=True)
+class RvNone:
+    """Successful completion with no interesting value (``RV_none``)."""
+
+    def render(self) -> str:
+        return "RV_none"
+
+
+@dataclasses.dataclass(frozen=True)
+class RvNum:
+    """A numeric return: byte counts, offsets, file descriptors."""
+
+    value: int
+
+    def render(self) -> str:
+        return f"RV_num({self.value})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RvBytes:
+    """Returned data: ``read``/``pread`` contents, ``readlink`` target."""
+
+    data: bytes
+
+    def render(self) -> str:
+        return f"RV_bytes({self.data.decode('utf-8', 'replace')!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RvStat:
+    """Result of ``stat``/``lstat``."""
+
+    stat: Stat
+
+    def render(self) -> str:
+        return f"RV_stat({self.stat.render()})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RvDirEntry:
+    """Result of ``readdir``: an entry name, or end-of-directory."""
+
+    name: Optional[str]  # None signals end of directory
+
+    def render(self) -> str:
+        return "RV_end_of_dir" if self.name is None else f"RV_entry({self.name!r})"
+
+
+Value = Union[RvNone, RvNum, RvBytes, RvStat, RvDirEntry]
+
+
+@dataclasses.dataclass(frozen=True)
+class Ok:
+    """A successful return carrying a :data:`Value`."""
+
+    value: Value
+
+    @property
+    def is_error(self) -> bool:
+        return False
+
+    def render(self) -> str:
+        return self.value.render()
+
+
+@dataclasses.dataclass(frozen=True)
+class Err:
+    """An error return carrying an :class:`Errno`."""
+
+    errno: Errno
+
+    @property
+    def is_error(self) -> bool:
+        return True
+
+    def render(self) -> str:
+        return self.errno.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Special:
+    """POSIX undefined / unspecified / implementation-defined behaviour.
+
+    A transition into a special state means the model places no further
+    constraints on the implementation for this call (paper sections 1.1
+    and 5: ``finset os_state_or_special``).
+    """
+
+    kind: str  # "undefined" | "unspecified" | "implementation-defined"
+    detail: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return False
+
+    def render(self) -> str:
+        return f"SPECIAL({self.kind}: {self.detail})"
+
+
+ReturnValue = Union[Ok, Err, Special]
+
+
+def render_return(ret: ReturnValue) -> str:
+    """Render a return value in trace syntax."""
+    return ret.render()

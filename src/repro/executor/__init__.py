@@ -1,0 +1,10 @@
+"""Test executor: drives a file system under test with a script and
+records the observed trace (paper section 6.2).  Also provides
+:class:`RecordingFS` for recording traces from application-style code
+(paper section 9).
+"""
+
+from repro.executor.executor import execute_script
+from repro.executor.recorder import RecordingFS
+
+__all__ = ["execute_script", "RecordingFS"]

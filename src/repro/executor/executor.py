@@ -1,0 +1,74 @@
+"""Script execution against a file system under test.
+
+The paper's executor forks an interpreter per script and dispatches
+commands to worker processes in a chroot jail, each running with the
+generated credentials of the scripted process (section 6.2).  Here the
+system under test is an in-process :class:`~repro.fsimpl.kernel.KernelFS`
+(see DESIGN.md's substitution note), so "execution" is a direct
+interpretation loop — but the observable artefact is the same: a trace
+interleaving the script's commands with the returns the implementation
+produced, including the process-level ``!signal`` and ``!spin``
+observations for the section 7.3.4-7.3.5 defects.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsReturn,
+                               OsSignal, OsSpin)
+from repro.fsimpl.kernel import KernelFS, SignalKill, SpinHang
+from repro.fsimpl.quirks import Quirks
+from repro.script.ast import (CreateEvent, DestroyEvent, Script, ScriptStep,
+                              Trace, TraceEvent)
+
+
+def execute_script(quirks: Quirks, script: Script,
+                   default_uid: int = 0, default_gid: int = 0) -> Trace:
+    """Run ``script`` on a fresh instance of the given configuration.
+
+    Each script starts from an empty file system (the chroot-jail
+    analogue).  Process 1 is created implicitly with ``default_uid`` /
+    ``default_gid`` unless the script creates it explicitly.  A killed or
+    spinning process terminates the script, mirroring the paper's
+    fault-isolated interpreter.
+    """
+    kernel = KernelFS(quirks)
+    events: List[TraceEvent] = []
+    line_no = 0
+
+    def emit(label) -> None:
+        nonlocal line_no
+        line_no += 1
+        events.append(TraceEvent(line_no, label))
+
+    for item in script.items:
+        if isinstance(item, CreateEvent):
+            kernel.create_process(item.pid, item.uid, item.gid)
+            emit(OsCreate(item.pid, item.uid, item.gid))
+            continue
+        if isinstance(item, DestroyEvent):
+            if kernel.process_alive(item.pid):
+                kernel.destroy_process(item.pid)
+                emit(OsDestroy(item.pid))
+            continue
+        assert isinstance(item, ScriptStep)
+        if not kernel.process_alive(item.pid):
+            if item.pid in kernel.state.procs:
+                # Killed or spinning: the worker is gone; skip its
+                # remaining commands (the interpreter isolates the fault).
+                continue
+            kernel.create_process(item.pid, default_uid, default_gid)
+            emit(OsCreate(item.pid, default_uid, default_gid))
+        emit(OsCall(item.pid, item.cmd))
+        try:
+            ret = kernel.call(item.pid, item.cmd)
+        except SignalKill as sig:
+            emit(OsSignal(item.pid, sig.signal))
+            continue
+        except SpinHang:
+            emit(OsSpin(item.pid))
+            continue
+        emit(OsReturn(item.pid, ret))
+
+    return Trace(name=script.name, events=tuple(events))

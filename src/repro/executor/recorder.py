@@ -1,0 +1,148 @@
+"""Trace recording for applications (paper section 9).
+
+"SibylFS could support analysis of API traces of applications" — this
+module provides the recording half: :class:`RecordingFS` exposes the
+same friendly API as :class:`~repro.fsimpl.modelfs.ReferenceFS`, but
+runs against any configuration and records every call/return (including
+signals and spins) as a :class:`~repro.script.ast.Trace`.  The recorded
+trace feeds directly into the checker, the portability analyser, or the
+test-case reducer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import commands as C
+from repro.core.flags import OpenFlag, SeekWhence
+from repro.core.labels import (OsCall, OsCreate, OsReturn, OsSignal,
+                               OsSpin)
+from repro.core.values import (Err, Ok, ReturnValue, RvBytes, RvDirEntry,
+                               RvNum, RvStat, Stat)
+from repro.fsimpl.kernel import KernelFS, SignalKill, SpinHang
+from repro.fsimpl.modelfs import FsError
+from repro.fsimpl.quirks import Quirks
+from repro.script.ast import Trace, TraceEvent
+
+
+class RecordingFS:
+    """A file-system facade that records everything it is asked to do.
+
+    Unlike :class:`ReferenceFS` the backend is an arbitrary (possibly
+    defective) configuration; failed calls raise :class:`FsError`, and
+    the process-level defects raise :class:`SignalKill` /
+    :class:`SpinHang` — all of which still appear in the trace.
+    """
+
+    def __init__(self, quirks: Quirks, uid: int = 0, gid: int = 0,
+                 name: str = "recorded"):
+        self._kernel = KernelFS(quirks)
+        self._pid = 1
+        self._events: List[TraceEvent] = []
+        self._line = 0
+        self._name = name
+        self._kernel.create_process(self._pid, uid, gid)
+        self._emit(OsCreate(self._pid, uid, gid))
+
+    # -- recording plumbing ---------------------------------------------------
+    def _emit(self, label) -> None:
+        self._line += 1
+        self._events.append(TraceEvent(self._line, label))
+
+    def _call(self, cmd: C.OsCommand) -> ReturnValue:
+        self._emit(OsCall(self._pid, cmd))
+        try:
+            ret = self._kernel.call(self._pid, cmd)
+        except SignalKill as sig:
+            self._emit(OsSignal(self._pid, sig.signal))
+            raise
+        except SpinHang:
+            self._emit(OsSpin(self._pid))
+            raise
+        self._emit(OsReturn(self._pid, ret))
+        if isinstance(ret, Err):
+            raise FsError(ret.errno, cmd.render())
+        return ret
+
+    def trace(self) -> Trace:
+        """The trace recorded so far."""
+        return Trace(name=self._name, events=tuple(self._events))
+
+    # -- the API (mirrors ReferenceFS) -----------------------------------------
+    def mkdir(self, path: str, mode: int = 0o777) -> None:
+        self._call(C.Mkdir(path, mode))
+
+    def rmdir(self, path: str) -> None:
+        self._call(C.Rmdir(path))
+
+    def unlink(self, path: str) -> None:
+        self._call(C.Unlink(path))
+
+    def link(self, src: str, dst: str) -> None:
+        self._call(C.Link(src, dst))
+
+    def rename(self, src: str, dst: str) -> None:
+        self._call(C.Rename(src, dst))
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        self._call(C.Symlink(target, linkpath))
+
+    def readlink(self, path: str) -> str:
+        ret = self._call(C.Readlink(path))
+        return ret.value.data.decode("utf-8")
+
+    def chdir(self, path: str) -> None:
+        self._call(C.Chdir(path))
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._call(C.Chmod(path, mode))
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        self._call(C.Chown(path, uid, gid))
+
+    def umask(self, mask: int) -> int:
+        return self._call(C.Umask(mask)).value.value
+
+    def truncate(self, path: str, length: int) -> None:
+        self._call(C.Truncate(path, length))
+
+    def stat(self, path: str) -> Stat:
+        return self._call(C.StatCmd(path)).value.stat
+
+    def lstat(self, path: str) -> Stat:
+        return self._call(C.LstatCmd(path)).value.stat
+
+    def open(self, path: str, flags: OpenFlag = OpenFlag.O_RDONLY,
+             mode: int = 0o666) -> int:
+        return self._call(C.Open(path, flags, mode)).value.value
+
+    def close(self, fd: int) -> None:
+        self._call(C.Close(fd))
+
+    def read(self, fd: int, count: int) -> bytes:
+        return self._call(C.Read(fd, count)).value.data
+
+    def write(self, fd: int, data: bytes) -> int:
+        return self._call(C.Write(fd, data)).value.value
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        return self._call(C.Pread(fd, count, offset)).value.data
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        return self._call(C.Pwrite(fd, data, offset)).value.value
+
+    def lseek(self, fd: int, offset: int,
+              whence: SeekWhence = SeekWhence.SEEK_SET) -> int:
+        return self._call(C.Lseek(fd, offset, whence)).value.value
+
+    def opendir(self, path: str) -> int:
+        return self._call(C.Opendir(path)).value.value
+
+    def readdir(self, dh: int) -> Optional[str]:
+        return self._call(C.Readdir(dh)).value.name
+
+    def rewinddir(self, dh: int) -> None:
+        self._call(C.Rewinddir(dh))
+
+    def closedir(self, dh: int) -> None:
+        self._call(C.Closedir(dh))

@@ -1,0 +1,20 @@
+"""Simulated real-world file systems under test.
+
+The paper tests ~40 OS/file-system configurations via libc.  This
+environment has no kernels to test, so (per the substitution documented
+in DESIGN.md) each configuration is an in-process :class:`KernelFS`: a
+deterministic implementation of the same call surface, parameterised by a
+:class:`Quirks` table that injects the documented behavioural differences
+and defects of paper section 7.3.  The oracle pipeline is unchanged —
+scripts are executed against a KernelFS, traces are recorded, and the
+checker re-discovers every injected defect.
+"""
+
+from repro.fsimpl.quirks import Quirks
+from repro.fsimpl.kernel import KernelFS, SignalKill, SpinHang
+from repro.fsimpl.configs import (ALL_CONFIGS, config_by_name,
+                                  configs_for_platform)
+from repro.fsimpl.modelfs import ReferenceFS
+
+__all__ = ["Quirks", "KernelFS", "SignalKill", "SpinHang", "ALL_CONFIGS",
+           "config_by_name", "configs_for_platform", "ReferenceFS"]

@@ -1,0 +1,206 @@
+"""The determinized model as a reference file system (paper section 8).
+
+The paper notes that SibylFS can be used as a reference implementation
+"by determinizing the model (selecting one of the many possible states at
+each step)" — previous versions were even mounted as FUSE file systems.
+:class:`ReferenceFS` packages that idea as a friendly in-memory POSIX
+file system: each method performs one libc call against a quirk-free
+:class:`~repro.fsimpl.kernel.KernelFS` and either returns the value or
+raises :class:`FsError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import commands as C
+from repro.core.errors import Errno
+from repro.core.flags import OpenFlag, SeekWhence
+from repro.core.values import (Err, Ok, ReturnValue, RvBytes, RvDirEntry,
+                               RvNum, RvStat, Stat)
+from repro.fsimpl.kernel import KernelFS
+from repro.fsimpl.quirks import Quirks
+
+
+class FsError(OSError):
+    """A failed file-system call, carrying the model's errno."""
+
+    def __init__(self, errno: Errno, call: str):
+        self.fs_errno = errno
+        self.call = call
+        super().__init__(f"{call}: {errno.value}")
+
+
+class ReferenceFS:
+    """An in-memory POSIX file system backed by the determinized model.
+
+    Example::
+
+        fs = ReferenceFS()
+        fs.mkdir("/a")
+        fd = fs.open("/a/f", OpenFlag.O_CREAT | OpenFlag.O_WRONLY)
+        fs.write(fd, b"hello")
+        fs.close(fd)
+        assert fs.stat("/a/f").size == 5
+    """
+
+    def __init__(self, platform: str = "posix", uid: int = 0,
+                 gid: int = 0):
+        self._kernel = KernelFS(Quirks(
+            name=f"reference-{platform}", platform=platform,
+            chroot_root_nlink_off_by_one=False))
+        self._pid = 1
+        self._kernel.create_process(self._pid, uid, gid)
+
+    # -- plumbing ---------------------------------------------------------------
+    def _call(self, cmd: C.OsCommand) -> ReturnValue:
+        ret = self._kernel.call(self._pid, cmd)
+        if isinstance(ret, Err):
+            raise FsError(ret.errno, cmd.render())
+        return ret
+
+    # -- directory and name operations -----------------------------------------
+    def mkdir(self, path: str, mode: int = 0o777) -> None:
+        self._call(C.Mkdir(path, mode))
+
+    def rmdir(self, path: str) -> None:
+        self._call(C.Rmdir(path))
+
+    def unlink(self, path: str) -> None:
+        self._call(C.Unlink(path))
+
+    def link(self, src: str, dst: str) -> None:
+        self._call(C.Link(src, dst))
+
+    def rename(self, src: str, dst: str) -> None:
+        self._call(C.Rename(src, dst))
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        self._call(C.Symlink(target, linkpath))
+
+    def readlink(self, path: str) -> str:
+        ret = self._call(C.Readlink(path))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvBytes)
+        return ret.value.data.decode("utf-8")
+
+    def chdir(self, path: str) -> None:
+        self._call(C.Chdir(path))
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._call(C.Chmod(path, mode))
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        self._call(C.Chown(path, uid, gid))
+
+    def umask(self, mask: int) -> int:
+        ret = self._call(C.Umask(mask))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvNum)
+        return ret.value.value
+
+    def truncate(self, path: str, length: int) -> None:
+        self._call(C.Truncate(path, length))
+
+    # -- stat --------------------------------------------------------------------
+    def stat(self, path: str) -> Stat:
+        ret = self._call(C.StatCmd(path))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvStat)
+        return ret.value.stat
+
+    def lstat(self, path: str) -> Stat:
+        ret = self._call(C.LstatCmd(path))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvStat)
+        return ret.value.stat
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except FsError:
+            return False
+
+    # -- file descriptors --------------------------------------------------------
+    def open(self, path: str, flags: OpenFlag = OpenFlag.O_RDONLY,
+             mode: int = 0o666) -> int:
+        ret = self._call(C.Open(path, flags, mode))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvNum)
+        return ret.value.value
+
+    def close(self, fd: int) -> None:
+        self._call(C.Close(fd))
+
+    def read(self, fd: int, count: int) -> bytes:
+        ret = self._call(C.Read(fd, count))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvBytes)
+        return ret.value.data
+
+    def write(self, fd: int, data: bytes) -> int:
+        ret = self._call(C.Write(fd, data))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvNum)
+        return ret.value.value
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        ret = self._call(C.Pread(fd, count, offset))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvBytes)
+        return ret.value.data
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        ret = self._call(C.Pwrite(fd, data, offset))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvNum)
+        return ret.value.value
+
+    def lseek(self, fd: int, offset: int,
+              whence: SeekWhence = SeekWhence.SEEK_SET) -> int:
+        ret = self._call(C.Lseek(fd, offset, whence))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvNum)
+        return ret.value.value
+
+    # -- directory handles ---------------------------------------------------------
+    def opendir(self, path: str) -> int:
+        ret = self._call(C.Opendir(path))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvNum)
+        return ret.value.value
+
+    def readdir(self, dh: int) -> Optional[str]:
+        """One entry name, or None at end of directory."""
+        ret = self._call(C.Readdir(dh))
+        assert isinstance(ret, Ok) and isinstance(ret.value, RvDirEntry)
+        return ret.value.name
+
+    def rewinddir(self, dh: int) -> None:
+        self._call(C.Rewinddir(dh))
+
+    def closedir(self, dh: int) -> None:
+        self._call(C.Closedir(dh))
+
+    def listdir(self, path: str) -> List[str]:
+        """All entries of a directory, in readdir order."""
+        dh = self.opendir(path)
+        entries: List[str] = []
+        while True:
+            name = self.readdir(dh)
+            if name is None:
+                break
+            entries.append(name)
+        self.closedir(dh)
+        return entries
+
+    # -- convenience -----------------------------------------------------------
+    def write_file(self, path: str, data: bytes,
+                   mode: int = 0o666) -> None:
+        """Create/replace a file with the given contents."""
+        fd = self.open(path, OpenFlag.O_CREAT | OpenFlag.O_WRONLY
+                       | OpenFlag.O_TRUNC, mode)
+        self.write(fd, data)
+        self.close(fd)
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file."""
+        fd = self.open(path, OpenFlag.O_RDONLY)
+        out = b""
+        while True:
+            chunk = self.read(fd, 65536)
+            if not chunk:
+                break
+            out += chunk
+        self.close(fd)
+        return out

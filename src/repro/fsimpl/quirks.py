@@ -1,0 +1,102 @@
+"""Quirk tables: what makes one tested configuration behave differently.
+
+Each switch corresponds to a behaviour or defect documented in the paper
+(section references inline).  A configuration with all defaults behaves
+like "standard Linux with ext4" and should check cleanly against the
+Linux model variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+from repro.core.errors import Errno
+
+
+class UmaskPolicy(enum.Enum):
+    """How the implementation treats the caller's file-creation mask.
+
+    SSHFS (section 7.3.4): without a ``umask`` mount option the user
+    process's umask is bitwise ORed with 0022; with ``umask=0000`` the
+    process umask is ignored entirely.
+    """
+
+    NORMAL = "normal"
+    OR_0022 = "or_0022"
+    IGNORE = "ignore"
+
+
+@dataclasses.dataclass(frozen=True)
+class Quirks:
+    """Behaviour switches of one simulated configuration."""
+
+    name: str
+    #: The model variant this configuration is *expected* to satisfy.
+    platform: str = "linux"
+    description: str = ""
+
+    #: Error-priority order used to determinize the model's loose error
+    #: envelopes (real implementations fix an order by their check
+    #: sequence).  Errors missing from the list rank last, alphabetically.
+    error_priority: Tuple[Errno, ...] = (
+        Errno.ENOENT, Errno.EEXIST, Errno.EBUSY, Errno.EISDIR,
+        Errno.ENOTEMPTY, Errno.ENOTDIR, Errno.EINVAL, Errno.EACCES,
+        Errno.EPERM, Errno.ELOOP, Errno.ENAMETOOLONG,
+    )
+
+    # -- §7.2: chroot-jail testing artefact ---------------------------------
+    #: The paper's 9 standard-Linux failures are mostly artefacts of the
+    #: chroot jail (root link count off by one).  True for kernel-backed
+    #: configurations to reproduce that acceptance shape.
+    chroot_root_nlink_off_by_one: bool = False
+
+    # -- §7.3.2: core-behaviour violations -----------------------------------
+    #: Btrfs / Linux-HFS+ do not maintain directory link counts (st_nlink
+    #: is a constant 1); SSHFS additionally loses regular-file counts.
+    dir_nlink_constant: Optional[int] = None
+    file_nlink_constant: Optional[int] = None
+    #: Linux-HFS+ returns EPERM for link() on a symlink (a portability
+    #: compromise for removable volumes).
+    link_symlink_eperm: bool = False
+    #: FreeBSD: open O_CREAT|O_DIRECTORY|O_EXCL on a symlink to a
+    #: directory returns ENOTDIR *and clobbers the symlink with a new
+    #: regular file*, violating the POSIX error invariant.
+    excl_dir_symlink_clobber: bool = False
+
+    # -- §7.3.4: defects likely to cause application failure -----------------
+    #: SSHFS deviation observed in paper Fig. 4: renaming an empty
+    #: directory onto a non-empty one returns EPERM.
+    rename_nonempty_eperm: bool = False
+    #: SSHFS mount options: enforce permission checks at all?
+    #: (allow_other without default_permissions does not.)
+    enforce_permissions: bool = True
+    #: SSHFS: creation ownership forced to the mount owner (root).
+    forced_owner: Optional[Tuple[int, int]] = None
+    umask_policy: UmaskPolicy = UmaskPolicy.NORMAL
+    #: OS X VFS: pwrite with negative offset underflows to a huge
+    #: unsigned value and the process is killed with SIGXFSZ.
+    pwrite_negative_signal: Optional[str] = None
+    #: Ubuntu-Trusty Linux-HFS+: every chmod returns EOPNOTSUPP.
+    chmod_errno: Optional[Errno] = None
+    #: OpenZFS 0.6.3: O_APPEND does not seek to end-of-file before
+    #: write/pwrite (data loss / corruption).
+    o_append_no_seek: bool = False
+
+    # -- §7.3.5: system halt / data loss / resource exhaustion ---------------
+    #: posixovl/VFAT: rename over an existing file fails to decrement the
+    #: displaced file's link count, permanently leaking its storage.
+    rename_link_count_leak: bool = False
+    #: Volume capacity in bytes (None = unbounded); needed to observe the
+    #: posixovl storage leak as ENOSPC.
+    capacity_bytes: Optional[int] = None
+    #: OpenZFS on OS X (Fig. 8): open O_CREAT while the working directory
+    #: is disconnected sends the process into an unkillable busy loop.
+    spin_on_create_in_disconnected_cwd: bool = False
+
+    # -- libc-level variation (§7, glibc vs musl) -----------------------------
+    #: Whether writing zero bytes to a bad file descriptor reports
+    #: success (0) instead of EBADF — implementation-defined, and one of
+    #: the acceptable §7.2 variations between libcs.
+    write_zero_bad_fd_succeeds: bool = False

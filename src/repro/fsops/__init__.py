@@ -1,0 +1,32 @@
+"""File-system module: per-command semantics over resolved names.
+
+This is the bulk of the model (the paper's *file system* module, 1 388
+lines of Lem).  Each libc command has a specification function that takes
+the platform spec, the file-system state and resolved names, and returns
+the finite set of allowed outcomes — built with the parallel-checks
+combinator of Fig. 6.  Raw path strings never appear here; path
+resolution happens in the POSIX API layer.
+"""
+
+from repro.fsops.common import FsEnv, stat_of_dir, stat_of_file
+from repro.fsops.link import fsop_link
+from repro.fsops.mkdir import fsop_mkdir
+from repro.fsops.rename import fsop_rename
+from repro.fsops.rmdir import fsop_rmdir
+from repro.fsops.unlink import fsop_unlink
+from repro.fsops.symlink_ops import fsop_readlink, fsop_symlink
+from repro.fsops.stat_ops import fsop_lstat, fsop_stat
+from repro.fsops.truncate import fsop_truncate
+from repro.fsops.attr import fsop_chmod, fsop_chown
+from repro.fsops.open_spec import OpenResult, fsop_open
+from repro.fsops.dirops import (DhState, dh_open, dh_readdir_outcomes,
+                                dh_rewind, dh_update)
+
+__all__ = [
+    "FsEnv", "stat_of_dir", "stat_of_file",
+    "fsop_link", "fsop_mkdir", "fsop_rename", "fsop_rmdir", "fsop_unlink",
+    "fsop_symlink", "fsop_readlink", "fsop_stat", "fsop_lstat",
+    "fsop_truncate", "fsop_chmod", "fsop_chown",
+    "OpenResult", "fsop_open",
+    "DhState", "dh_open", "dh_readdir_outcomes", "dh_rewind", "dh_update",
+]

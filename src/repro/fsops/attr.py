@@ -1,0 +1,114 @@
+"""Specifications of ``chmod`` and ``chown`` (the permissions trait)."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.flags import MODE_MASK
+from repro.fsops.common import FsEnv
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.chmod.resolution_error")
+declare("fsop.chmod.noent")
+declare("fsop.chmod.not_owner")
+declare("fsop.chmod.success_dir")
+declare("fsop.chmod.success_file")
+declare("fsop.chown.resolution_error")
+declare("fsop.chown.noent")
+declare("fsop.chown.not_permitted")
+declare("fsop.chown.success")
+
+
+def _owner_meta(fs: FsState, rn: ResName):
+    if isinstance(rn, RnDir):
+        return fs.dir(rn.dref).meta
+    assert isinstance(rn, RnFile)
+    return fs.file(rn.fref).meta
+
+
+def fsop_chmod(env: FsEnv, fs: FsState, rn: ResName, mode: int) -> Outcomes:
+    """``chmod``: only the owner or the superuser may change the mode."""
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.chmod.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.chmod.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnFile) and rn.trailing_slash:
+            return fails(Errno.ENOTDIR)
+        return PASS
+
+    def check_owner():
+        if not isinstance(rn, (RnDir, RnFile)):
+            return PASS
+        if not env.perm.enabled or env.perm.is_root:
+            return PASS
+        if _owner_meta(fs, rn).uid != env.perm.uid:
+            cover("fsop.chmod.not_owner")
+            return fails(Errno.EPERM)
+        return PASS
+
+    result = parallel(check_target, check_owner)
+
+    def success() -> Outcomes:
+        if isinstance(rn, RnDir):
+            cover("fsop.chmod.success_dir")
+            meta = fs.dir(rn.dref).meta.with_mode(mode & MODE_MASK)
+            return ok(fs.set_dir_meta(rn.dref, meta))
+        assert isinstance(rn, RnFile)
+        cover("fsop.chmod.success_file")
+        meta = fs.file(rn.fref).meta.with_mode(mode & MODE_MASK)
+        return ok(fs.set_file_meta(rn.fref, meta))
+
+    return guarded(fs, result, success)
+
+
+def fsop_chown(env: FsEnv, fs: FsState, rn: ResName, uid: int,
+               gid: int) -> Outcomes:
+    """``chown``: the superuser may set any owner; a non-root owner may
+    only change the group, and only to a group it belongs to."""
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.chown.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.chown.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnFile) and rn.trailing_slash:
+            return fails(Errno.ENOTDIR)
+        return PASS
+
+    def check_permitted():
+        if not isinstance(rn, (RnDir, RnFile)):
+            return PASS
+        if not env.perm.enabled or env.perm.is_root:
+            return PASS
+        meta = _owner_meta(fs, rn)
+        owner_keeps_uid = (meta.uid == env.perm.uid
+                           and (uid == meta.uid or uid == -1))
+        gid_allowed = gid == -1 or gid in env.perm.all_groups()
+        if not (owner_keeps_uid and gid_allowed):
+            cover("fsop.chown.not_permitted")
+            return fails(Errno.EPERM)
+        return PASS
+
+    result = parallel(check_target, check_permitted)
+
+    def success() -> Outcomes:
+        assert isinstance(rn, (RnDir, RnFile))
+        cover("fsop.chown.success")
+        meta = _owner_meta(fs, rn)
+        new_uid = meta.uid if uid == -1 else uid
+        new_gid = meta.gid if gid == -1 else gid
+        new_meta = meta.with_owner(new_uid, new_gid)
+        if isinstance(rn, RnDir):
+            return ok(fs.set_dir_meta(rn.dref, new_meta))
+        return ok(fs.set_file_meta(rn.fref, new_meta))
+
+    return guarded(fs, result, success)

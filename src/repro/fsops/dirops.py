@@ -1,0 +1,120 @@
+"""Directory-handle semantics: ``opendir`` / ``readdir`` / ``rewinddir``.
+
+This is the hand-crafted nondeterminism specification of paper section 3
+("Directory listing nondeterminism").  A directory handle tracks:
+
+* ``must`` — entries that *must* still be returned (present and
+  unmodified since the handle was opened, not yet returned);
+* ``may`` — entries that *may* be returned (added after opening, or
+  deleted before being returned, including delete-then-re-add);
+* ``returned`` — entries already yielded, which must not repeat unless
+  re-added;
+* ``seen`` — the directory contents as of the last access, from which the
+  next access computes the changes.
+
+The sets are *maintained* rather than recomputed: each ``readdir`` access
+first folds in the changes since the last access, then splits
+nondeterministically over every allowed answer.  The nondeterminism is
+resolved one step later, when the trace label reveals the entry actually
+read — which is why this stays efficiently checkable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Tuple
+
+from repro.core.coverage import cover, declare
+from repro.core.values import RvDirEntry
+from repro.state.heap import DirRef, FsState
+
+declare("dirops.open")
+declare("dirops.update_added")
+declare("dirops.update_removed_unreturned")
+declare("dirops.update_removed_returned")
+declare("dirops.readdir_must")
+declare("dirops.readdir_may")
+declare("dirops.readdir_end")
+declare("dirops.rewind")
+
+
+@dataclasses.dataclass(frozen=True)
+class DhState:
+    """The state of one open directory handle."""
+
+    dref: DirRef
+    must: FrozenSet[str]
+    may: FrozenSet[str]
+    returned: FrozenSet[str]
+    seen: FrozenSet[str]
+
+
+def dh_open(fs: FsState, dref: DirRef) -> DhState:
+    """A fresh handle: everything currently present must be returned."""
+    cover("dirops.open")
+    entries = frozenset(fs.entry_names(dref))
+    return DhState(dref=dref, must=entries, may=frozenset(),
+                   returned=frozenset(), seen=entries)
+
+
+def dh_update(fs: FsState, dh: DhState) -> DhState:
+    """Fold in directory changes since the handle's last access.
+
+    * added entries (including re-adds of returned names) become *may*
+      and are allowed to be returned (again);
+    * removed entries that were still owed move from *must* to *may*
+      (POSIX: a deleted entry not yet returned may still appear);
+    * removed entries already returned simply stay returned.
+    """
+    current = frozenset(fs.entry_names(dh.dref))
+    added = current - dh.seen
+    removed = dh.seen - current
+    must = dh.must
+    may = dh.may
+    returned = dh.returned
+    if added:
+        cover("dirops.update_added")
+        may = may | (added - must)
+        returned = returned - added
+    for name in removed:
+        if name in must:
+            cover("dirops.update_removed_unreturned")
+            must = must - {name}
+            may = may | {name}
+        elif name in returned:
+            cover("dirops.update_removed_returned")
+    return dataclasses.replace(dh, must=must, may=may, returned=returned,
+                               seen=current)
+
+
+def dh_readdir_outcomes(fs: FsState,
+                        dh: DhState) -> FrozenSet[Tuple[DhState,
+                                                        RvDirEntry]]:
+    """All allowed answers of one ``readdir`` call on ``dh``.
+
+    Returns pairs of (successor handle state, returned entry).  End of
+    directory is allowed exactly when nothing *must* still be returned.
+    """
+    dh = dh_update(fs, dh)
+    outcomes: set[Tuple[DhState, RvDirEntry]] = set()
+    for name in dh.must:
+        cover("dirops.readdir_must")
+        succ = dataclasses.replace(
+            dh, must=dh.must - {name}, may=dh.may - {name},
+            returned=dh.returned | {name})
+        outcomes.add((succ, RvDirEntry(name)))
+    for name in dh.may - dh.must:
+        cover("dirops.readdir_may")
+        succ = dataclasses.replace(
+            dh, may=dh.may - {name}, returned=dh.returned | {name})
+        outcomes.add((succ, RvDirEntry(name)))
+    if not dh.must:
+        cover("dirops.readdir_end")
+        outcomes.add((dh, RvDirEntry(None)))
+    return frozenset(outcomes)
+
+
+def dh_rewind(fs: FsState, dh: DhState) -> DhState:
+    """``rewinddir``: reset the handle as if freshly opened."""
+    cover("dirops.rewind")
+    return dh_open(fs, dh.dref)

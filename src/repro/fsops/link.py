@@ -1,0 +1,99 @@
+"""Specification of ``link``."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+from repro.fsops.common import (FsEnv, check_parent_writable, touch_mtime)
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.link.src_resolution_error")
+declare("fsop.link.src_noent")
+declare("fsop.link.src_is_dir")
+declare("fsop.link.src_trailing_slash")
+declare("fsop.link.src_is_symlink")
+declare("fsop.link.dst_resolution_error")
+declare("fsop.link.dst_exists")
+declare("fsop.link.dst_exists_trailing_slash")
+declare("fsop.link.dst_is_dir")
+declare("fsop.link.dst_trailing_slash_none")
+declare("fsop.link.parent_not_writable")
+declare("fsop.link.success")
+
+
+def fsop_link(env: FsEnv, fs: FsState, src: ResName,
+              dst: ResName) -> Outcomes:
+    """``link`` creates a hard link to an existing file.
+
+    Whether the *source* resolution follows a final symlink is
+    implementation-defined (the :class:`LinkSymlinkBehaviour` platform
+    switch); the POSIX API layer performs the appropriate resolution(s)
+    before calling this function — for the "either" mode it calls once
+    per resolution and unions the outcomes.
+
+    The trailing-slash destination quirk of paper section 7.3.2 (Linux
+    ``link /dir/ /f.txt/`` returning EEXIST where one might expect
+    ENOTDIR) is captured by ``spec.link_trailing_slash_file_errors``.
+    """
+
+    def check_src():
+        if isinstance(src, RnError):
+            cover("fsop.link.src_resolution_error")
+            return fails(src.errno)
+        if isinstance(src, RnNone):
+            cover("fsop.link.src_noent")
+            return fails(Errno.ENOENT)
+        if isinstance(src, RnDir):
+            # Hard links to directories: EPERM on all modelled platforms.
+            cover("fsop.link.src_is_dir")
+            return fails(Errno.EPERM)
+        assert isinstance(src, RnFile)
+        if src.trailing_slash:
+            cover("fsop.link.src_trailing_slash")
+            return fails(Errno.ENOTDIR)
+        if fs.file(src.fref).kind is FileKind.SYMLINK:
+            cover("fsop.link.src_is_symlink")
+        return PASS
+
+    def check_dst():
+        if isinstance(dst, RnError):
+            cover("fsop.link.dst_resolution_error")
+            return fails(dst.errno)
+        if isinstance(dst, RnDir):
+            cover("fsop.link.dst_is_dir")
+            return fails(Errno.EEXIST)
+        if isinstance(dst, RnFile):
+            if dst.trailing_slash:
+                cover("fsop.link.dst_exists_trailing_slash")
+                return fails(*env.spec.link_trailing_slash_file_errors)
+            cover("fsop.link.dst_exists")
+            return fails(Errno.EEXIST)
+        assert isinstance(dst, RnNone)
+        if dst.trailing_slash:
+            # Creating "name/" as a hard link to a file cannot succeed.
+            cover("fsop.link.dst_trailing_slash_none")
+            return fails(Errno.ENOENT, Errno.ENOTDIR)
+        return PASS
+
+    def check_perms():
+        if not isinstance(dst, RnNone):
+            return PASS
+        result = check_parent_writable(env, fs, dst.parent)
+        if not result.passes:
+            cover("fsop.link.parent_not_writable")
+        return result
+
+    result = parallel(check_src, check_dst, check_perms)
+
+    def success() -> Outcomes:
+        assert isinstance(src, RnFile) and isinstance(dst, RnNone)
+        cover("fsop.link.success")
+        fs1 = fs.add_link(dst.parent, dst.name, src.fref)
+        fs1 = touch_mtime(env, fs1, dst.parent)
+        return ok(fs1)
+
+    return guarded(fs, result, success)

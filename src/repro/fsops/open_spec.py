@@ -1,0 +1,182 @@
+"""Specification of ``open`` (path-directed part).
+
+``open`` is the command with the largest generated test population in the
+paper because one argument is a flag bitfield (section 6.1).  This module
+specifies which object an ``open`` call denotes, whether it is created
+and/or truncated, and the allowed errors; allocation of the file
+descriptor itself happens in the POSIX API layer.
+
+Resolution policy (performed by the caller):
+
+* ``O_CREAT|O_EXCL`` — NOFOLLOW: a final symlink, dangling or not, must
+  fail with EEXIST (FreeBSD's ENOTDIR-and-clobber misbehaviour in the
+  O_DIRECTORY case is section 7.3.2's invariant violation);
+* ``O_NOFOLLOW`` — NOFOLLOW: a final symlink fails with ELOOP;
+* otherwise — FOLLOW.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Optional, Union
+
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.flags import FileKind, OpenFlag
+from repro.fsops.common import (FsEnv, check_parent_writable, may_read_file,
+                                may_write_file, may_read_dir)
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import DirRef, FileRef, FsState
+
+declare("fsop.open.resolution_error")
+declare("fsop.open.noent_no_creat")
+declare("fsop.open.trailing_slash_none")
+declare("fsop.open.excl_on_symlink")
+declare("fsop.open.excl_dir_on_symlink")
+declare("fsop.open.excl_on_dangling_symlink")
+declare("fsop.open.nofollow_symlink")
+declare("fsop.open.excl_exists")
+declare("fsop.open.dir_wants_write")
+declare("fsop.open.dir_with_creat")
+declare("fsop.open.o_directory_on_file")
+declare("fsop.open.o_directory_creat_unspecified")
+declare("fsop.open.trailing_slash_file")
+declare("fsop.open.read_permission_denied")
+declare("fsop.open.write_permission_denied")
+declare("fsop.open.dir_read_permission_denied")
+declare("fsop.open.parent_not_writable")
+declare("fsop.open.success_existing")
+declare("fsop.open.success_truncated")
+declare("fsop.open.success_created")
+declare("fsop.open.success_dir")
+declare("fsop.open.rdonly_trunc_loose")
+
+
+@dataclasses.dataclass(frozen=True)
+class OpenResult:
+    """One allowed behaviour of an ``open`` call.
+
+    Exactly one of ``err`` / ``special`` / ``target`` is meaningful:
+    an error return, undefined behaviour, or an opened object.
+    """
+
+    fs: FsState
+    target: Optional[Union[FileRef, DirRef]] = None
+    err: Optional[Errno] = None
+    special: Optional[str] = None
+    created: bool = False
+
+
+OpenResults = FrozenSet[OpenResult]
+
+
+def _errs(fs: FsState, *errnos: Errno) -> OpenResults:
+    return frozenset(OpenResult(fs=fs, err=e) for e in errnos)
+
+
+def fsop_open(env: FsEnv, fs: FsState, rn: ResName, flags: OpenFlag,
+              mode: int) -> OpenResults:
+    """All allowed behaviours of ``open`` on a resolved name."""
+    creat = bool(flags & OpenFlag.O_CREAT)
+    excl = bool(flags & OpenFlag.O_EXCL)
+    trunc = bool(flags & OpenFlag.O_TRUNC)
+    directory = bool(flags & OpenFlag.O_DIRECTORY)
+    nofollow = bool(flags & OpenFlag.O_NOFOLLOW)
+
+    if isinstance(rn, RnError):
+        cover("fsop.open.resolution_error")
+        return _errs(fs, rn.errno)
+
+    if isinstance(rn, RnNone):
+        if rn.dangling_symlink is not None and creat and excl:
+            # O_EXCL: the (dangling) symlink itself already exists.
+            cover("fsop.open.excl_on_dangling_symlink")
+            return _errs(fs, Errno.EEXIST)
+        if not creat:
+            cover("fsop.open.noent_no_creat")
+            return _errs(fs, Errno.ENOENT)
+        if rn.trailing_slash:
+            cover("fsop.open.trailing_slash_none")
+            return _errs(fs, Errno.EISDIR, Errno.ENOENT)
+        if directory:
+            # O_CREAT|O_DIRECTORY on a nonexistent name is a known wart:
+            # Linux creates a regular file; POSIX gives no coherent
+            # reading.  The model calls it unspecified.
+            cover("fsop.open.o_directory_creat_unspecified")
+            return frozenset({OpenResult(
+                fs=fs, special="unspecified",
+            )})
+        perm = check_parent_writable(env, fs, rn.parent)
+        if not perm.passes:
+            cover("fsop.open.parent_not_writable")
+            return _errs(fs, *perm.mandatory)
+        cover("fsop.open.success_created")
+        meta = env.new_meta(mode, clock=fs.clock)
+        fs1, fref = fs.create_file(rn.parent, rn.name, meta)
+        return frozenset({OpenResult(fs=fs1, target=fref, created=True)})
+
+    if isinstance(rn, RnDir):
+        if creat and excl:
+            cover("fsop.open.excl_exists")
+            return _errs(fs, Errno.EEXIST)
+        if flags.wants_write or trunc:
+            cover("fsop.open.dir_wants_write")
+            return _errs(fs, Errno.EISDIR)
+        if creat:
+            cover("fsop.open.dir_with_creat")
+            return _errs(fs, Errno.EISDIR)
+        if env.spec.permissions_enabled and not may_read_dir(env, fs,
+                                                             rn.dref):
+            cover("fsop.open.dir_read_permission_denied")
+            return _errs(fs, Errno.EACCES)
+        cover("fsop.open.success_dir")
+        return frozenset({OpenResult(fs=fs, target=rn.dref)})
+
+    assert isinstance(rn, RnFile)
+    fobj = fs.file(rn.fref)
+
+    if fobj.kind is FileKind.SYMLINK:
+        # Reachable only under a NOFOLLOW policy (O_NOFOLLOW or
+        # O_CREAT|O_EXCL): a plain FOLLOW resolution never yields a
+        # symlink object.
+        if creat and excl:
+            if directory:
+                cover("fsop.open.excl_dir_on_symlink")
+                return _errs(fs, *env.spec.open_excl_dir_symlink_errors)
+            cover("fsop.open.excl_on_symlink")
+            return _errs(fs, Errno.EEXIST)
+        cover("fsop.open.nofollow_symlink")
+        return _errs(fs, Errno.ELOOP)
+
+    if rn.trailing_slash:
+        cover("fsop.open.trailing_slash_file")
+        return _errs(fs, Errno.ENOTDIR)
+    if directory:
+        cover("fsop.open.o_directory_on_file")
+        return _errs(fs, Errno.ENOTDIR)
+    if creat and excl:
+        cover("fsop.open.excl_exists")
+        return _errs(fs, Errno.EEXIST)
+
+    if env.spec.permissions_enabled:
+        if flags.wants_read and not may_read_file(env, fs, rn.fref):
+            cover("fsop.open.read_permission_denied")
+            return _errs(fs, Errno.EACCES)
+        if ((flags.wants_write or trunc)
+                and not may_write_file(env, fs, rn.fref)):
+            cover("fsop.open.write_permission_denied")
+            return _errs(fs, Errno.EACCES)
+
+    if trunc and flags.wants_write:
+        cover("fsop.open.success_truncated")
+        fs1 = fs.truncate_file(rn.fref, 0)
+        return frozenset({OpenResult(fs=fs1, target=rn.fref)})
+    if trunc and not flags.wants_write:
+        # O_RDONLY|O_TRUNC is undefined in POSIX; real systems variously
+        # truncate or ignore the flag.  The model loosely allows both.
+        cover("fsop.open.rdonly_trunc_loose")
+        fs1 = fs.truncate_file(rn.fref, 0)
+        return frozenset({OpenResult(fs=fs1, target=rn.fref),
+                          OpenResult(fs=fs, target=rn.fref)})
+    cover("fsop.open.success_existing")
+    return frozenset({OpenResult(fs=fs, target=rn.fref)})

@@ -1,0 +1,187 @@
+"""Specification of ``rename`` — the paper's running example (Fig. 6).
+
+The structure mirrors the excerpt in the paper: an initial same-object
+test (in which case rename is a no-op), otherwise a *parallel* composition
+of independent checks — source/destination shape, root involvement,
+subdirectory cycles, parent reachability, permissions — any of whose
+errors is an allowed result, with none taking priority.
+"""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.fsops.common import (FsEnv, check_parent_writable, touch_mtime)
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.rename.same_object_noop")
+declare("fsop.rename.src_resolution_error")
+declare("fsop.rename.src_noent")
+declare("fsop.rename.src_trailing_slash")
+declare("fsop.rename.src_dot")
+declare("fsop.rename.dst_resolution_error")
+declare("fsop.rename.dst_dot")
+declare("fsop.rename.file_onto_dir")
+declare("fsop.rename.dir_onto_file")
+declare("fsop.rename.dir_onto_nonempty_dir")
+declare("fsop.rename.file_onto_trailing_slash_none")
+declare("fsop.rename.root_involved")
+declare("fsop.rename.into_own_subdir")
+declare("fsop.rename.disconnected_parent")
+declare("fsop.rename.parent_not_writable")
+declare("fsop.rename.success_simple")
+declare("fsop.rename.success_replace_file")
+declare("fsop.rename.success_replace_empty_dir")
+
+
+def _same_object(fs: FsState, src: ResName, dst: ResName) -> bool:
+    """True if source and destination name the same object.
+
+    POSIX: if the two paths resolve to the same existing file (including
+    via distinct hard links), rename does nothing and reports success.
+    """
+    if isinstance(src, RnFile) and isinstance(dst, RnFile):
+        return src.fref == dst.fref
+    if isinstance(src, RnDir) and isinstance(dst, RnDir):
+        return src.dref == dst.dref
+    return False
+
+
+def fsop_rename(env: FsEnv, fs: FsState, src: ResName,
+                dst: ResName) -> Outcomes:
+    """``rename`` atomically moves a file or directory."""
+    if (not isinstance(src, RnError) and not isinstance(dst, RnError)
+            and _same_object(fs, src, dst)):
+        # fsm_do_nothing: the no-op case of Fig. 6.
+        cover("fsop.rename.same_object_noop")
+        return ok(fs)
+
+    def checks_rsrc_rdst():
+        # Shape checks on the source/destination combination (the
+        # fsop_rename_checks_rsrc_rdst conjunct of Fig. 6).
+        if isinstance(src, RnError):
+            cover("fsop.rename.src_resolution_error")
+            return fails(src.errno)
+        if isinstance(src, RnNone):
+            cover("fsop.rename.src_noent")
+            return fails(Errno.ENOENT)
+        if isinstance(src, RnFile) and src.trailing_slash:
+            cover("fsop.rename.src_trailing_slash")
+            return fails(Errno.ENOTDIR)
+        if isinstance(src, RnDir) and src.last_dot is not None:
+            cover("fsop.rename.src_dot")
+            return fails(Errno.EINVAL, Errno.EBUSY)
+        if isinstance(dst, RnError):
+            cover("fsop.rename.dst_resolution_error")
+            return fails(dst.errno)
+        if isinstance(dst, RnDir) and dst.last_dot is not None:
+            cover("fsop.rename.dst_dot")
+            return fails(Errno.EINVAL, Errno.EBUSY)
+        if isinstance(src, RnFile) and isinstance(dst, RnDir):
+            # Renaming a file onto a directory: EISDIR; if the directory
+            # is non-empty some implementations report that instead.
+            cover("fsop.rename.file_onto_dir")
+            errs = {Errno.EISDIR}
+            if not fs.is_empty_dir(dst.dref):
+                errs |= set(env.spec.notempty_errors)
+            return fails(*errs)
+        if isinstance(src, RnDir) and isinstance(dst, RnFile):
+            cover("fsop.rename.dir_onto_file")
+            return fails(Errno.ENOTDIR)
+        if isinstance(src, RnDir) and isinstance(dst, RnDir):
+            if not fs.is_empty_dir(dst.dref):
+                # The checked-trace example of paper Fig. 4: renaming an
+                # empty directory onto a non-empty one allows EEXIST or
+                # ENOTEMPTY (and SSHFS's EPERM is the deviation).
+                cover("fsop.rename.dir_onto_nonempty_dir")
+                return fails(*env.spec.notempty_errors)
+        if (isinstance(src, RnFile) and isinstance(dst, RnNone)
+                and dst.trailing_slash):
+            cover("fsop.rename.file_onto_trailing_slash_none")
+            return fails(Errno.ENOENT, Errno.ENOTDIR)
+        return PASS
+
+    def checks_root():
+        involved = []
+        if isinstance(src, RnDir) and src.dref == fs.root:
+            involved.append(src)
+        if isinstance(dst, RnDir) and dst.dref == fs.root:
+            involved.append(dst)
+        if involved:
+            cover("fsop.rename.root_involved")
+            return fails(*env.spec.rename_root_errors)
+        return PASS
+
+    def checks_subdir():
+        # A directory must not be renamed into a subdirectory of itself.
+        # (The root is excluded: renaming the root has its own check.)
+        if isinstance(src, RnDir) and src.dref != fs.root:
+            dst_parent = None
+            if isinstance(dst, RnNone):
+                dst_parent = dst.parent
+            elif isinstance(dst, RnDir):
+                dst_parent = dst.parent
+            if dst_parent is not None and (
+                    dst_parent == src.dref
+                    or fs.is_ancestor(src.dref, dst_parent)):
+                cover("fsop.rename.into_own_subdir")
+                return fails(Errno.EINVAL)
+        return PASS
+
+    def checks_parentdirs():
+        # The parents of source and destination must be reachable; this
+        # covers disconnected files/directories (paper Fig. 6 commentary).
+        if isinstance(src, RnDir) and src.parent is None \
+                and src.dref != fs.root:
+            cover("fsop.rename.disconnected_parent")
+            return fails(Errno.EINVAL, Errno.EBUSY, Errno.ENOENT)
+        return PASS
+
+    def checks_perms():
+        results = []
+        if isinstance(src, (RnFile, RnDir)) and getattr(
+                src, "parent", None) is not None:
+            results.append(check_parent_writable(env, fs, src.parent))
+        if isinstance(dst, (RnFile, RnDir, RnNone)) and getattr(
+                dst, "parent", None) is not None:
+            results.append(check_parent_writable(env, fs, dst.parent))
+        merged_mandatory = frozenset().union(
+            *[r.mandatory for r in results]) if results else frozenset()
+        if merged_mandatory:
+            cover("fsop.rename.parent_not_writable")
+            return fails(*merged_mandatory)
+        return PASS
+
+    result = parallel(checks_rsrc_rdst, checks_root, checks_subdir,
+                      checks_parentdirs, checks_perms)
+
+    def success() -> Outcomes:
+        # Source is a file or directory; destination is none, a file
+        # (replace) or an empty directory (replace).
+        if isinstance(src, RnFile):
+            src_parent, src_name = src.parent, src.name
+        else:
+            assert isinstance(src, RnDir)
+            assert src.parent is not None and src.name is not None
+            src_parent, src_name = src.parent, src.name
+        if isinstance(dst, RnNone):
+            cover("fsop.rename.success_simple")
+            dst_parent, dst_name = dst.parent, dst.name
+        elif isinstance(dst, RnFile):
+            cover("fsop.rename.success_replace_file")
+            dst_parent, dst_name = dst.parent, dst.name
+        else:
+            assert isinstance(dst, RnDir)
+            assert dst.parent is not None and dst.name is not None
+            cover("fsop.rename.success_replace_empty_dir")
+            dst_parent, dst_name = dst.parent, dst.name
+        fs1 = fs.move_entry(src_parent, src_name, dst_parent, dst_name)
+        fs1 = touch_mtime(env, fs1, src_parent)
+        if dst_parent != src_parent:
+            fs1 = touch_mtime(env, fs1, dst_parent)
+        return ok(fs1)
+
+    return guarded(fs, result, success)

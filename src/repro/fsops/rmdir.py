@@ -1,0 +1,84 @@
+"""Specification of ``rmdir``."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.fsops.common import (FsEnv, check_parent_writable, touch_mtime)
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.rmdir.resolution_error")
+declare("fsop.rmdir.noent")
+declare("fsop.rmdir.not_dir")
+declare("fsop.rmdir.root")
+declare("fsop.rmdir.dot")
+declare("fsop.rmdir.not_empty")
+# Documentation clause: a disconnected directory cannot be named by any
+# path (it is reachable only through handles and working directories,
+# which resolve as "." and are caught by the dot check first), so this
+# branch is annotated unreachable — the paper's "explicitly included
+# annotated lines covering these cases as a form of documentation".
+declare("fsop.rmdir.disconnected", reachable=False)
+declare("fsop.rmdir.parent_not_writable")
+declare("fsop.rmdir.success")
+
+
+def fsop_rmdir(env: FsEnv, fs: FsState, rn: ResName) -> Outcomes:
+    """``rmdir`` removes an empty directory.
+
+    The removed directory object is *disconnected*, not destroyed: open
+    directory handles and working directories that point into it keep a
+    referent (the Fig. 8 scenario arises this way).
+    """
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.rmdir.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.rmdir.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnFile):
+            cover("fsop.rmdir.not_dir")
+            return fails(Errno.ENOTDIR)
+        assert isinstance(rn, RnDir)
+        if rn.dref == fs.root:
+            cover("fsop.rmdir.root")
+            return fails(*env.spec.rmdir_root_errors)
+        if rn.last_dot == ".":
+            # rmdir(".") is EINVAL; rmdir("..") fails non-empty / EINVAL.
+            cover("fsop.rmdir.dot")
+            return fails(Errno.EINVAL)
+        if rn.last_dot == "..":
+            cover("fsop.rmdir.dot")
+            return fails(Errno.EINVAL, *env.spec.notempty_errors)
+        if not fs.is_empty_dir(rn.dref):
+            cover("fsop.rmdir.not_empty")
+            return fails(*env.spec.notempty_errors)
+        if rn.parent is None or rn.name is None:
+            # A disconnected directory (reachable only via a handle).
+            cover("fsop.rmdir.disconnected")
+            return fails(Errno.ENOENT, Errno.EINVAL)
+        return PASS
+
+    def check_perms():
+        if not isinstance(rn, RnDir) or rn.parent is None:
+            return PASS
+        result = check_parent_writable(env, fs, rn.parent)
+        if not result.passes:
+            cover("fsop.rmdir.parent_not_writable")
+        return result
+
+    result = parallel(check_target, check_perms)
+
+    def success() -> Outcomes:
+        assert isinstance(rn, RnDir) and rn.parent is not None
+        cover("fsop.rmdir.success")
+        fs1 = fs.remove_entry(rn.parent, rn.name)
+        fs1 = touch_mtime(env, fs1, rn.parent)
+        return ok(fs1)
+
+    return guarded(fs, result, success)

@@ -1,0 +1,58 @@
+"""Specifications of ``stat`` and ``lstat``."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.values import RvStat
+from repro.fsops.common import FsEnv, stat_of_dir, stat_of_file
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.stat.resolution_error")
+declare("fsop.stat.noent")
+declare("fsop.stat.trailing_slash_file")
+declare("fsop.stat.success_dir")
+declare("fsop.stat.success_file")
+
+
+def _fsop_stat_like(env: FsEnv, fs: FsState, rn: ResName) -> Outcomes:
+    """Common body of stat and lstat — only the resolution policy
+    (follow / nofollow) differs, and that is chosen by the caller.
+    """
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.stat.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.stat.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnFile) and rn.trailing_slash:
+            cover("fsop.stat.trailing_slash_file")
+            return fails(Errno.ENOTDIR)
+        return PASS
+
+    result = parallel(check_target)
+
+    def success() -> Outcomes:
+        if isinstance(rn, RnDir):
+            cover("fsop.stat.success_dir")
+            return ok(fs, RvStat(stat_of_dir(fs, rn.dref)))
+        assert isinstance(rn, RnFile)
+        cover("fsop.stat.success_file")
+        return ok(fs, RvStat(stat_of_file(fs, rn.fref)))
+
+    return guarded(fs, result, success)
+
+
+def fsop_stat(env: FsEnv, fs: FsState, rn: ResName) -> Outcomes:
+    """``stat``: the name must have been resolved with FOLLOW."""
+    return _fsop_stat_like(env, fs, rn)
+
+
+def fsop_lstat(env: FsEnv, fs: FsState, rn: ResName) -> Outcomes:
+    """``lstat``: the name must have been resolved with NOFOLLOW."""
+    return _fsop_stat_like(env, fs, rn)

@@ -1,0 +1,106 @@
+"""Specifications of ``symlink`` and ``readlink``."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+from repro.core.values import RvBytes
+from repro.fsops.common import FsEnv, check_parent_writable
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.symlink.resolution_error")
+declare("fsop.symlink.exists")
+declare("fsop.symlink.trailing_slash_none")
+declare("fsop.symlink.parent_not_writable")
+declare("fsop.symlink.success")
+declare("fsop.readlink.resolution_error")
+declare("fsop.readlink.noent")
+declare("fsop.readlink.not_symlink")
+declare("fsop.readlink.is_dir")
+declare("fsop.readlink.success")
+
+
+def fsop_symlink(env: FsEnv, fs: FsState, target: str,
+                 rn: ResName) -> Outcomes:
+    """``symlink`` creates a symbolic link containing ``target``.
+
+    POSIX leaves symlink permissions implementation-defined; the model
+    takes the default mode from the platform spec and optionally applies
+    the umask (OS X does, Linux does not — section 7.2's
+    "default permissions for symlinks" variation).
+    """
+
+    def check_linkpath():
+        if isinstance(rn, RnError):
+            cover("fsop.symlink.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, (RnDir, RnFile)):
+            cover("fsop.symlink.exists")
+            return fails(Errno.EEXIST)
+        assert isinstance(rn, RnNone)
+        if rn.trailing_slash:
+            cover("fsop.symlink.trailing_slash_none")
+            return fails(Errno.ENOENT, Errno.ENOTDIR)
+        return PASS
+
+    def check_perms():
+        if not isinstance(rn, RnNone):
+            return PASS
+        result = check_parent_writable(env, fs, rn.parent)
+        if not result.passes:
+            cover("fsop.symlink.parent_not_writable")
+        return result
+
+    result = parallel(check_linkpath, check_perms)
+
+    def success() -> Outcomes:
+        assert isinstance(rn, RnNone)
+        cover("fsop.symlink.success")
+        mode = env.spec.symlink_default_mode
+        meta = env.new_meta(mode, apply_umask=env.spec.symlink_umask_applies,
+                            clock=fs.clock)
+        fs1, _ = fs.create_file(rn.parent, rn.name, meta,
+                                kind=FileKind.SYMLINK,
+                                content=target.encode("utf-8"))
+        return ok(fs1)
+
+    return guarded(fs, result, success)
+
+
+def fsop_readlink(env: FsEnv, fs: FsState, rn: ResName) -> Outcomes:
+    """``readlink`` returns the contents of a symbolic link.
+
+    The OS X trailing-slash quirk (``readlink s2/`` returning the
+    contents of the intermediate symlink, section 7.3.2) is handled in
+    the POSIX API layer, which performs the quirky resolution and unions
+    the outcomes with these.
+    """
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.readlink.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.readlink.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnDir):
+            cover("fsop.readlink.is_dir")
+            return fails(Errno.EINVAL)
+        assert isinstance(rn, RnFile)
+        if fs.file(rn.fref).kind is not FileKind.SYMLINK:
+            cover("fsop.readlink.not_symlink")
+            return fails(Errno.EINVAL)
+        return PASS
+
+    result = parallel(check_target)
+
+    def success() -> Outcomes:
+        assert isinstance(rn, RnFile)
+        cover("fsop.readlink.success")
+        return ok(fs, RvBytes(fs.file(rn.fref).content))
+
+    return guarded(fs, result, success)

@@ -1,0 +1,74 @@
+"""Specification of ``truncate``."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+from repro.fsops.common import (FsEnv, may_write_file, touch_file_mtime)
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.truncate.resolution_error")
+declare("fsop.truncate.noent")
+declare("fsop.truncate.is_dir")
+# Documentation clause: truncate resolves with FOLLOW, so its resolved
+# name is never a symlink object (a dangling final symlink resolves to
+# RnNone).  Annotated unreachable, kept for exhaustiveness.
+declare("fsop.truncate.is_symlink", reachable=False)
+declare("fsop.truncate.negative_length")
+declare("fsop.truncate.no_write_permission")
+declare("fsop.truncate.success")
+
+
+def fsop_truncate(env: FsEnv, fs: FsState, rn: ResName,
+                  length: int) -> Outcomes:
+    """``truncate`` sets a regular file's length (zero-extending growth).
+
+    Resolution follows a final symlink, so an :class:`RnFile` that is
+    still a symlink object can only arise from a nofollow quirk and is
+    rejected.
+    """
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.truncate.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.truncate.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnDir):
+            cover("fsop.truncate.is_dir")
+            return fails(Errno.EISDIR)
+        assert isinstance(rn, RnFile)
+        if rn.trailing_slash:
+            return fails(Errno.ENOTDIR)
+        if fs.file(rn.fref).kind is FileKind.SYMLINK:
+            cover("fsop.truncate.is_symlink")
+            return fails(Errno.EINVAL)
+        return PASS
+
+    def check_length():
+        if length < 0:
+            cover("fsop.truncate.negative_length")
+            return fails(Errno.EINVAL)
+        return PASS
+
+    def check_perms():
+        if isinstance(rn, RnFile) and not may_write_file(env, fs, rn.fref):
+            cover("fsop.truncate.no_write_permission")
+            return fails(Errno.EACCES)
+        return PASS
+
+    result = parallel(check_target, check_length, check_perms)
+
+    def success() -> Outcomes:
+        assert isinstance(rn, RnFile)
+        cover("fsop.truncate.success")
+        fs1 = fs.truncate_file(rn.fref, length)
+        fs1 = touch_file_mtime(env, fs1, rn.fref)
+        return ok(fs1)
+
+    return guarded(fs, result, success)

@@ -1,0 +1,63 @@
+"""Specification of ``unlink``."""
+
+from __future__ import annotations
+
+from repro.core.combinators import (Outcomes, PASS, fails, guarded, ok,
+                                    parallel)
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.fsops.common import (FsEnv, check_parent_writable, touch_mtime)
+from repro.pathres.resname import ResName, RnDir, RnError, RnFile, RnNone
+from repro.state.heap import FsState
+
+declare("fsop.unlink.resolution_error")
+declare("fsop.unlink.noent")
+declare("fsop.unlink.is_dir")
+declare("fsop.unlink.trailing_slash")
+declare("fsop.unlink.parent_not_writable")
+declare("fsop.unlink.success")
+
+
+def fsop_unlink(env: FsEnv, fs: FsState, rn: ResName) -> Outcomes:
+    """``unlink`` removes a directory entry for a non-directory.
+
+    ``unlink`` never follows a final symlink: it removes the symlink
+    itself.  Unlinking a directory is where Linux deliberately deviates
+    from POSIX — EISDIR (LSB) instead of EPERM (paper section 7.3.2) —
+    captured by ``spec.unlink_dir_errors``.
+    """
+
+    def check_target():
+        if isinstance(rn, RnError):
+            cover("fsop.unlink.resolution_error")
+            return fails(rn.errno)
+        if isinstance(rn, RnNone):
+            cover("fsop.unlink.noent")
+            return fails(Errno.ENOENT)
+        if isinstance(rn, RnDir):
+            cover("fsop.unlink.is_dir")
+            return fails(*env.spec.unlink_dir_errors)
+        assert isinstance(rn, RnFile)
+        if rn.trailing_slash:
+            cover("fsop.unlink.trailing_slash")
+            return fails(Errno.ENOTDIR)
+        return PASS
+
+    def check_perms():
+        if not isinstance(rn, RnFile):
+            return PASS
+        result = check_parent_writable(env, fs, rn.parent)
+        if not result.passes:
+            cover("fsop.unlink.parent_not_writable")
+        return result
+
+    result = parallel(check_target, check_perms)
+
+    def success() -> Outcomes:
+        assert isinstance(rn, RnFile)
+        cover("fsop.unlink.success")
+        fs1 = fs.remove_entry(rn.parent, rn.name)
+        fs1 = touch_mtime(env, fs1, rn.parent)
+        return ok(fs1)
+
+    return guarded(fs, result, success)

@@ -1,0 +1,39 @@
+"""Test-and-check harness and result analysis (paper Fig. 1, section 7).
+
+``run`` executes a script suite on a configuration and checks the traces
+against a model variant (optionally with worker processes, as in the
+paper's 4-process checking runs); ``results``/``merge``/``report``
+aggregate, combine and render results across configurations; ``coverage``
+measures specification coverage (section 7.2).
+"""
+
+from repro.harness.run import (SuiteResult, TraceFailure, check_traces,
+                               execute_suite, run_and_check)
+from repro.harness.coverage import measure_coverage
+from repro.harness.merge import DeviationRecord, merge_results
+from repro.harness.report import (render_merge, render_suite_result,
+                                  render_summary_table)
+from repro.harness.debug import DebugStep, debug_trace, render_debug
+from repro.harness.portability import (PortabilityReport,
+                                       analyse_portability)
+from repro.harness.reduce import (is_one_minimal, reduce_script,
+                                  script_fails)
+from repro.harness.html import render_html_report
+from repro.harness.differential import (Difference, DifferentialResult,
+                                         differential_run)
+from repro.harness.ci import (RegressionReport, compare_to_baseline,
+                              save_baseline)
+
+__all__ = [
+    "SuiteResult", "TraceFailure", "check_traces", "execute_suite",
+    "run_and_check",
+    "measure_coverage",
+    "DeviationRecord", "merge_results",
+    "render_merge", "render_suite_result", "render_summary_table",
+    "DebugStep", "debug_trace", "render_debug",
+    "PortabilityReport", "analyse_portability",
+    "is_one_minimal", "reduce_script", "script_fails",
+    "render_html_report",
+    "Difference", "DifferentialResult", "differential_run",
+    "RegressionReport", "compare_to_baseline", "save_baseline",
+]

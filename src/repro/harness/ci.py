@@ -1,0 +1,90 @@
+"""Continuous-integration regression baselines.
+
+The paper envisions SibylFS used "during file system development,
+quality assurance, and continuous integration" (contribution point 6).
+A practical CI loop needs more than a pass/fail bit: a configuration
+with *known*, accepted deviations (platform conventions, unsupported
+features) must stay green until a *new* deviation appears.  This module
+provides baseline files: record the current deviation fingerprint once,
+then compare subsequent runs against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Tuple
+
+from repro.harness.run import SuiteResult
+
+
+def _fingerprint(result: SuiteResult) -> Dict[str, List[str]]:
+    """trace name -> sorted list of deviation signatures."""
+    out: Dict[str, List[str]] = {}
+    for failure in result.failing:
+        sigs = sorted(f"{d.kind}:{d.observed}|{','.join(d.allowed)}"
+                      for d in failure.deviations)
+        out[failure.trace_name] = sigs
+    return out
+
+
+def save_baseline(result: SuiteResult, path: str | pathlib.Path) -> None:
+    """Record a run's deviations as the accepted baseline."""
+    payload = {
+        "config": result.config,
+        "model": result.model,
+        "total": result.total,
+        "deviations": _fingerprint(result),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True) + "\n")
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressionReport:
+    """Differences between a run and its baseline."""
+
+    config: str
+    new_failures: Tuple[str, ...]  # traces failing now but not before
+    changed: Tuple[str, ...]  # traces failing differently
+    fixed: Tuple[str, ...]  # traces in the baseline that now pass
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.new_failures or self.changed)
+
+    def render(self) -> str:
+        lines = [f"regression check for {self.config}: "
+                 + ("REGRESSED" if self.regressed else "clean")]
+        for title, names in (("new failures", self.new_failures),
+                             ("changed failures", self.changed),
+                             ("fixed", self.fixed)):
+            if names:
+                lines.append(f"  {title} ({len(names)}):")
+                lines.extend(f"    - {name}" for name in names[:20])
+        return "\n".join(lines)
+
+
+def compare_to_baseline(result: SuiteResult,
+                        path: str | pathlib.Path) -> RegressionReport:
+    """Compare a fresh run against a stored baseline.
+
+    A mismatched configuration or model is treated as wholesale new
+    failures — baselines are per (config, model) pair.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    current = _fingerprint(result)
+    if payload.get("config") != result.config or \
+            payload.get("model") != result.model:
+        return RegressionReport(
+            config=result.config,
+            new_failures=tuple(sorted(current)), changed=(), fixed=())
+    baseline: Dict[str, List[str]] = payload["deviations"]
+    new = tuple(sorted(set(current) - set(baseline)))
+    fixed = tuple(sorted(set(baseline) - set(current)))
+    changed = tuple(sorted(
+        name for name in set(current) & set(baseline)
+        if current[name] != baseline[name]))
+    return RegressionReport(config=result.config, new_failures=new,
+                            changed=changed, fixed=fixed)

@@ -1,0 +1,38 @@
+"""Model-coverage measurement (paper section 7.2).
+
+The paper reports that its suite covers 98 % of the model, measured as
+statement coverage of the Lem specification, with unreachable
+documentation clauses and other-platform clauses excluded.  Here every
+specification clause is a declared coverage point
+(:mod:`repro.core.coverage`); a measurement run resets the hit counters,
+checks a suite's traces, and reports the covered fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.coverage import REGISTRY, CoverageReport
+from repro.core.platform import spec_by_name
+from repro.checker.checker import TraceChecker
+from repro.executor.executor import execute_script
+from repro.fsimpl.configs import config_by_name
+from repro.script.ast import Script
+
+
+def measure_coverage(config: str, scripts: Sequence[Script],
+                     model: Optional[str] = None) -> CoverageReport:
+    """Execute + check a suite and report model coverage.
+
+    Both execution (which determinizes the model) and checking exercise
+    specification clauses; the paper's metric is driven by checking, so
+    hits are reset after execution and only checking is measured.
+    """
+    quirks = config_by_name(config)
+    model = model or quirks.platform
+    traces = [execute_script(quirks, script) for script in scripts]
+    REGISTRY.reset_hits()
+    checker = TraceChecker(spec_by_name(model))
+    for trace in traces:
+        checker.check(trace)
+    return REGISTRY.report(platform=model)

@@ -1,0 +1,126 @@
+"""Model-aware differential testing (paper section 8).
+
+Plain differential testing cannot be applied to file systems because
+the envelope of allowed behaviour is wide: two correct implementations
+are *expected* to differ.  "SibylFS instead allows differential testing
+of multiple file systems taking this allowable variability into
+account": two configurations are compared trace-by-trace, and each
+difference is classified by whether each side lies inside the model's
+envelope — separating benign variation from genuine deviation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.checker.checker import TraceChecker
+from repro.core.labels import OsReturn
+from repro.core.platform import spec_by_name
+from repro.executor.executor import execute_script
+from repro.fsimpl.configs import config_by_name
+from repro.fsimpl.quirks import Quirks
+from repro.script.ast import Script, Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class Difference:
+    """One script on which the two configurations behaved differently."""
+
+    script_name: str
+    #: First differing observation (rendered labels from each side).
+    left_obs: str
+    right_obs: str
+    #: Is each side's full trace inside the model envelope?
+    left_conformant: bool
+    right_conformant: bool
+
+    @property
+    def classification(self) -> str:
+        """benign (both allowed) / left-bug / right-bug / both-bug."""
+        if self.left_conformant and self.right_conformant:
+            return "benign-variation"
+        if self.left_conformant:
+            return "right-deviates"
+        if self.right_conformant:
+            return "left-deviates"
+        return "both-deviate"
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialResult:
+    """The outcome of a differential run over a suite."""
+
+    left: str
+    right: str
+    total: int
+    differences: Tuple[Difference, ...]
+
+    def by_classification(self) -> dict:
+        out: dict = {}
+        for diff in self.differences:
+            out.setdefault(diff.classification, []).append(diff)
+        return out
+
+    def render(self) -> str:
+        lines = [f"differential run: {self.left} vs {self.right} "
+                 f"({self.total} scripts, "
+                 f"{len(self.differences)} differing)"]
+        for kind, diffs in sorted(self.by_classification().items()):
+            lines.append(f"  {kind}: {len(diffs)}")
+            for diff in diffs[:5]:
+                lines.append(f"    {diff.script_name}: "
+                             f"{diff.left_obs[:40]} vs "
+                             f"{diff.right_obs[:40]}")
+        return "\n".join(lines)
+
+
+def _first_difference(left: Trace,
+                      right: Trace) -> Optional[Tuple[str, str]]:
+    left_rets = [e.label for e in left.events
+                 if isinstance(e.label, OsReturn)]
+    right_rets = [e.label for e in right.events
+                  if isinstance(e.label, OsReturn)]
+    for l, r in zip(left_rets, right_rets):
+        if l != r:
+            return l.render(), r.render()
+    if len(left_rets) != len(right_rets):
+        return (f"{len(left_rets)} returns",
+                f"{len(right_rets)} returns")
+    # Process-level events (signal/spin) may differ too.
+    if left.labels() != right.labels():
+        return "trace shape differs", "trace shape differs"
+    return None
+
+
+def differential_run(left: str | Quirks, right: str | Quirks,
+                     scripts: Sequence[Script],
+                     model: Optional[str] = None) -> DifferentialResult:
+    """Execute every script on both configurations and classify the
+    behavioural differences against the model envelope.
+
+    ``model`` defaults to the *left* configuration's platform: the
+    typical use is comparing a known-good baseline against a port or a
+    new file system on the same platform.
+    """
+    left_q = left if isinstance(left, Quirks) else config_by_name(left)
+    right_q = right if isinstance(right, Quirks) else \
+        config_by_name(right)
+    checker = TraceChecker(spec_by_name(model or left_q.platform))
+
+    differences: List[Difference] = []
+    for script in scripts:
+        left_trace = execute_script(left_q, script)
+        right_trace = execute_script(right_q, script)
+        first = _first_difference(left_trace, right_trace)
+        if first is None:
+            continue
+        differences.append(Difference(
+            script_name=script.name,
+            left_obs=first[0], right_obs=first[1],
+            left_conformant=checker.check(left_trace).accepted,
+            right_conformant=checker.check(right_trace).accepted,
+        ))
+    return DifferentialResult(left=left_q.name, right=right_q.name,
+                              total=len(scripts),
+                              differences=tuple(differences))

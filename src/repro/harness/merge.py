@@ -1,0 +1,54 @@
+"""Merging results across configurations (paper section 2).
+
+"To analyse the results of multiple runs, the system can intelligently
+combine the results across many different platforms, merging behaviours
+common to many runs and highlighting the differences."  A merged view
+groups identical deviations and records which configurations exhibit
+each — the raw material of the section 7.3 survey.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.run import SuiteResult
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviationRecord:
+    """One distinct deviation, with the configurations exhibiting it."""
+
+    trace_name: str
+    kind: str
+    observed: str
+    allowed: Tuple[str, ...]
+    configs: Tuple[str, ...]
+
+    @property
+    def ubiquity(self) -> int:
+        return len(self.configs)
+
+
+def merge_results(results: Sequence[SuiteResult]) -> List[DeviationRecord]:
+    """Group identical deviations across suite results.
+
+    Deviations exhibited by many configurations usually indicate model
+    or harness artefacts (or platform-wide conventions); deviations
+    unique to one configuration are the interesting defects.
+    """
+    grouped: Dict[Tuple, List[str]] = {}
+    for result in results:
+        for failure in result.failing:
+            for dev in failure.deviations:
+                key = (failure.trace_name, dev.kind, dev.observed,
+                       dev.allowed)
+                grouped.setdefault(key, []).append(result.config)
+    records = [
+        DeviationRecord(trace_name=key[0], kind=key[1], observed=key[2],
+                        allowed=key[3],
+                        configs=tuple(sorted(set(configs))))
+        for key, configs in grouped.items()
+    ]
+    records.sort(key=lambda r: (r.ubiquity, r.trace_name, r.observed))
+    return records

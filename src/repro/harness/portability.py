@@ -1,0 +1,62 @@
+"""Trace portability analysis (paper section 9, future work).
+
+"With modest additional engineering, SibylFS could support analysis of
+API traces of applications, identifying when they rely on non-portable
+aspects of the model."  Given a trace (e.g. recorded from an
+application), :func:`analyse_portability` checks it against every model
+variant and reports which platforms allow it, pinpointing the first
+non-portable step for each rejecting platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.checker.checker import TraceChecker
+from repro.core.platform import SPECS
+from repro.script.ast import Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class PortabilityReport:
+    """Which model variants accept a trace, and why the others don't."""
+
+    trace_name: str
+    accepted_on: Tuple[str, ...]
+    rejected_on: Dict[str, Tuple[str, ...]]  # platform -> messages
+
+    @property
+    def portable(self) -> bool:
+        """Portable = allowed by every platform variant (and therefore
+        by the loose POSIX envelope as well)."""
+        real_world = [p for p in SPECS if p != "posix"]
+        return all(p in self.accepted_on for p in real_world)
+
+    def render(self) -> str:
+        lines = [f"trace: {self.trace_name}",
+                 f"portable across modelled platforms: {self.portable}",
+                 f"accepted on : {', '.join(self.accepted_on) or '-'}"]
+        for platform, messages in sorted(self.rejected_on.items()):
+            lines.append(f"rejected on {platform}:")
+            lines.extend(f"  - {m}" for m in messages[:5])
+        return "\n".join(lines)
+
+
+def analyse_portability(trace: Trace) -> PortabilityReport:
+    """Check ``trace`` against all four model variants."""
+    accepted: List[str] = []
+    rejected: Dict[str, Tuple[str, ...]] = {}
+    for name, spec in SPECS.items():
+        checked = TraceChecker(spec).check(trace)
+        if checked.accepted:
+            accepted.append(name)
+        else:
+            rejected[name] = tuple(
+                f"line {d.line_no}: {d.message}"
+                + (f" (allowed: {', '.join(d.allowed)})" if d.allowed
+                   else "")
+                for d in checked.deviations)
+    return PortabilityReport(trace_name=trace.name,
+                             accepted_on=tuple(accepted),
+                             rejected_on=rejected)

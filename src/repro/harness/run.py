@@ -1,0 +1,121 @@
+"""Suite execution and trace checking (the pipeline of paper Fig. 1).
+
+Trace independence gives an embarrassingly parallel checking phase; with
+``processes > 1`` the checker fans traces out over worker processes, as
+the paper does with 4 processes (section 7.1).  Workers exchange trace
+*text* rather than live objects — each worker parses and checks
+independently, mirroring the paper's process-per-trace architecture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.checker.checker import CheckedTrace, Deviation, TraceChecker
+from repro.core.platform import spec_by_name
+from repro.executor.executor import execute_script
+from repro.fsimpl.configs import config_by_name
+from repro.fsimpl.quirks import Quirks
+from repro.script.ast import Script, Trace
+from repro.script.parser import parse_trace
+from repro.script.printer import print_trace
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceFailure:
+    """One failing trace in a suite run."""
+
+    trace_name: str
+    target_function: str
+    deviations: Tuple[Deviation, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteResult:
+    """The outcome of one test-and-check run (one configuration)."""
+
+    config: str
+    model: str
+    total: int
+    failing: Tuple[TraceFailure, ...]
+    exec_seconds: float
+    check_seconds: float
+
+    @property
+    def accepted(self) -> int:
+        return self.total - len(self.failing)
+
+    @property
+    def check_rate(self) -> float:
+        """Traces checked per second (the paper reports 266/s)."""
+        if self.check_seconds == 0:
+            return float("inf")
+        return self.total / self.check_seconds
+
+
+def execute_suite(quirks: Quirks,
+                  scripts: Sequence[Script]) -> List[Trace]:
+    """Execute every script on a fresh instance of the configuration."""
+    return [execute_script(quirks, script) for script in scripts]
+
+
+def _check_worker(args: Tuple[str, str]) -> Tuple[str, tuple, int]:
+    spec_name, trace_text = args
+    checker = TraceChecker(spec_by_name(spec_name))
+    trace = parse_trace(trace_text)
+    checked = checker.check(trace)
+    return trace.name, checked.deviations, checked.max_state_set
+
+
+def check_traces(model: str, traces: Sequence[Trace],
+                 processes: int = 1) -> List[CheckedTrace]:
+    """Check traces against a model variant, optionally in parallel."""
+    if processes <= 1:
+        checker = TraceChecker(spec_by_name(model))
+        return [checker.check(trace) for trace in traces]
+    payload = [(model, print_trace(trace)) for trace in traces]
+    with multiprocessing.Pool(processes) as pool:
+        rows = pool.map(_check_worker, payload, chunksize=16)
+    by_name = {trace.name: trace for trace in traces}
+    out = []
+    for name, deviations, max_states in rows:
+        out.append(CheckedTrace(trace=by_name[name],
+                                deviations=deviations,
+                                max_state_set=max_states,
+                                labels_checked=len(
+                                    by_name[name].events)))
+    return out
+
+
+def run_and_check(config: str | Quirks, scripts: Sequence[Script],
+                  model: Optional[str] = None,
+                  processes: int = 1) -> SuiteResult:
+    """The full pipeline: execute the suite, check the traces.
+
+    ``model`` defaults to the configuration's expected platform (the
+    matching model variant); pass e.g. ``model="posix"`` to check a
+    Linux configuration against the POSIX envelope instead.
+    """
+    quirks = config if isinstance(config, Quirks) else \
+        config_by_name(config)
+    model = model or quirks.platform
+
+    t0 = time.perf_counter()
+    traces = execute_suite(quirks, scripts)
+    t1 = time.perf_counter()
+    checked = check_traces(model, traces, processes=processes)
+    t2 = time.perf_counter()
+
+    failures = []
+    for script, result in zip(scripts, checked):
+        if not result.accepted:
+            failures.append(TraceFailure(
+                trace_name=result.trace.name,
+                target_function=script.target_function,
+                deviations=result.deviations))
+    return SuiteResult(config=quirks.name, model=model,
+                       total=len(scripts), failing=tuple(failures),
+                       exec_seconds=t1 - t0, check_seconds=t2 - t1)

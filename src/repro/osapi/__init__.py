@@ -1,0 +1,19 @@
+"""POSIX API module: the top level of the model (paper Fig. 5).
+
+Defines the labelled transition system: OS states (processes, file
+descriptors, open file descriptions, directory handles, users/groups) and
+the transition function ``os_trans`` that, given a state and a label,
+returns the finite set of successor states.
+"""
+
+from repro.osapi.process import (FidState, Process, RsCalling, RsReturning,
+                                 RsRunning, RunState)
+from repro.osapi.os_state import OsState, SpecialOsState, initial_os_state
+from repro.osapi.transition import allowed_returns, os_trans, tau_closure
+
+__all__ = [
+    "FidState", "Process", "RsCalling", "RsReturning", "RsRunning",
+    "RunState",
+    "OsState", "SpecialOsState", "initial_os_state",
+    "os_trans", "tau_closure", "allowed_returns",
+]

@@ -1,0 +1,66 @@
+"""The OS-level model state (the paper's ``ty_os_state``).
+
+An :class:`OsState` bundles the abstract file system with the process
+table, the open-file-description table and the group table.  A
+:class:`SpecialOsState` represents POSIX undefined / unspecified /
+implementation-defined behaviour: once the system may be in a special
+state, the model places no further constraints (``finset
+os_state_or_special`` in the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+from repro.state.heap import FsState, empty_fs
+from repro.util.fdict import fdict
+
+
+@dataclasses.dataclass(frozen=True)
+class OsState:
+    """OS model state: file system + processes + fids + groups."""
+
+    fs: FsState
+    procs: fdict  # pid (int) -> Process
+    fids: fdict  # fid (int) -> FidState
+    groups: fdict  # gid (int) -> frozenset of uids
+    next_fid: int = 1
+
+    def proc(self, pid: int):
+        return self.procs[pid]
+
+    def with_proc(self, pid: int, proc) -> "OsState":
+        return dataclasses.replace(self, procs=self.procs.set(pid, proc))
+
+    def with_fs(self, fs: FsState) -> "OsState":
+        return dataclasses.replace(self, fs=fs)
+
+    def groups_of(self, uid: int) -> frozenset:
+        """Supplementary groups: every gid whose member set contains uid."""
+        return frozenset(g for g, members in self.groups.items()
+                         if uid in members)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecialOsState:
+    """Undefined / unspecified / implementation-defined behaviour marker."""
+
+    kind: str
+    detail: str = ""
+
+
+OsStateOrSpecial = Union[OsState, SpecialOsState]
+
+
+def initial_os_state(groups: dict | None = None) -> OsState:
+    """The start state ``s_0``: an empty file system and no processes.
+
+    ``groups`` optionally pre-populates the group table (gid -> iterable
+    of member uids), mirroring the test harness's user/group setup
+    (paper section 6.2).
+    """
+    gtable = fdict({gid: frozenset(members)
+                    for gid, members in (groups or {}).items()})
+    return OsState(fs=empty_fs(), procs=fdict(), fids=fdict(),
+                   groups=gtable)

@@ -1,0 +1,688 @@
+"""The transition function ``os_trans`` of the model's LTS.
+
+``os_trans : spec -> os_state -> os_label -> finset (os_state or special)``
+
+This module glues the lower layers together: it resolves paths (using the
+per-command follow policy), invokes the file-system module on resolved
+names, and manages processes, file descriptors, open file descriptions and
+directory handles.  Calls are *not* atomic: an ``OS_CALL`` label moves the
+process into a calling state, an internal tau transition executes the
+command (possibly nondeterministically), and an ``OS_RETURN`` label
+resolves the pending return (paper section 6.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, List
+
+from repro.core import commands as C
+from repro.core.combinators import Outcome
+from repro.core.coverage import cover, declare
+from repro.core.errors import Errno
+from repro.core.flags import OpenFlag, SeekWhence, FileKind
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsLabel,
+                               OsReturn, OsSignal, OsSpin, OsTau)
+from repro.core.platform import PlatformSpec
+from repro.core.values import (Err, Ok, ReturnValue, RvBytes, RvNone, RvNum,
+                               Special)
+from repro.fsops import (dh_open, dh_readdir_outcomes, dh_rewind, fsop_chmod,
+                         fsop_chown, fsop_link, fsop_lstat, fsop_mkdir,
+                         fsop_open, fsop_readlink, fsop_rename, fsop_rmdir,
+                         fsop_stat, fsop_symlink, fsop_truncate, fsop_unlink)
+from repro.fsops.common import FsEnv, may_read_dir, may_search_dir
+from repro.osapi.os_state import (OsState, OsStateOrSpecial, SpecialOsState)
+from repro.osapi.process import (FidState, Process, RsCalling, RsReturning,
+                                 RsRunning)
+from repro.core.platform import LinkSymlinkBehaviour
+from repro.pathres.resname import Follow, RnDir, RnError, RnFile, RnNone
+from repro.pathres.resolve import PermEnv, resolve
+from repro.state.heap import DirRef, FileRef
+from repro.util.fdict import fdict
+
+declare("osapi.create_process")
+declare("osapi.destroy_process")
+declare("osapi.call")
+declare("osapi.return")
+declare("osapi.close.bad_fd")
+declare("osapi.close.success")
+declare("osapi.read.bad_fd")
+declare("osapi.read.bad_count")
+declare("osapi.read.is_dir")
+declare("osapi.read.not_readable")
+declare("osapi.read.eof")
+declare("osapi.read.partial")
+declare("osapi.write.bad_fd")
+declare("osapi.write.zero_bad_fd_loose")
+declare("osapi.write.not_writable")
+declare("osapi.write.append_seeks_end")
+declare("osapi.write.partial")
+declare("osapi.pread.negative_offset")
+declare("osapi.pwrite.negative_offset")
+declare("osapi.pwrite.append_quirk", platforms=("linux", "posix"))
+declare("osapi.lseek.bad_fd")
+declare("osapi.lseek.negative_result")
+declare("osapi.lseek.success")
+declare("osapi.opendir.not_dir")
+declare("osapi.opendir.noent")
+declare("osapi.opendir.no_read_permission")
+declare("osapi.opendir.success")
+declare("osapi.readdir.bad_handle")
+declare("osapi.closedir.bad_handle")
+declare("osapi.closedir.success")
+declare("osapi.rewinddir.bad_handle")
+declare("osapi.rewinddir.success")
+declare("osapi.chdir.not_dir")
+declare("osapi.chdir.noent")
+declare("osapi.chdir.no_search_permission")
+declare("osapi.chdir.success")
+declare("osapi.umask.success")
+declare("osapi.readlink.osx_trailing_quirk", platforms=("osx",))
+declare("osapi.link.either_resolution", platforms=("posix",))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _perm_env(spec: PlatformSpec, proc: Process) -> PermEnv:
+    return PermEnv(uid=proc.uid, gid=proc.gid, groups=proc.groups,
+                   enabled=spec.permissions_enabled)
+
+
+def _fs_env(spec: PlatformSpec, proc: Process) -> FsEnv:
+    return FsEnv(spec=spec, perm=_perm_env(spec, proc), umask=proc.umask)
+
+
+def _returning(state: OsState, pid: int, ret: ReturnValue) -> OsState:
+    return state.with_proc(pid, state.proc(pid).with_run(RsReturning(ret)))
+
+
+def _err(state: OsState, pid: int, *errnos: Errno) -> FrozenSet[OsState]:
+    return frozenset(_returning(state, pid, Err(e)) for e in errnos)
+
+
+def _ok(state: OsState, pid: int, value=None) -> FrozenSet[OsState]:
+    return frozenset({_returning(state, pid,
+                                 Ok(value if value is not None
+                                    else RvNone()))})
+
+
+def _convert_outcomes(state: OsState, pid: int,
+                      outcomes: Iterable[Outcome]
+                      ) -> FrozenSet[OsStateOrSpecial]:
+    """Lift file-system-module outcomes into OS states."""
+    lifted: set[OsStateOrSpecial] = set()
+    for out in outcomes:
+        if isinstance(out.ret, Special):
+            lifted.add(SpecialOsState(out.ret.kind, out.ret.detail))
+        else:
+            lifted.add(_returning(state.with_fs(out.state), pid, out.ret))
+    return frozenset(lifted)
+
+
+def _refresh_handles(state: OsStateOrSpecial) -> OsStateOrSpecial:
+    """Fold directory changes into every open handle, eagerly.
+
+    The paper is explicit that the model must "track all changes to a
+    directory from the point that opendir is called": updating handles
+    lazily at the next readdir would conflate a delete-then-re-add of
+    the same name with no change at all.  Handles of *every* process are
+    refreshed — modifications by other processes are within scope.
+    """
+    from repro.fsops.dirops import dh_update
+
+    if isinstance(state, SpecialOsState):
+        return state
+    procs = state.procs
+    changed = False
+    for pid, proc in state.procs.items():
+        if not proc.dhs:
+            continue
+        new_dhs = {dh: dh_update(state.fs, dh_state)
+                   for dh, dh_state in proc.dhs.items()}
+        if any(new_dhs[dh] != proc.dhs[dh] for dh in new_dhs):
+            procs = procs.set(pid, dataclasses.replace(
+                proc, dhs=proc.dhs.update_with(new_dhs)))
+            changed = True
+    if not changed:
+        return state
+    return dataclasses.replace(state, procs=procs)
+
+
+# ---------------------------------------------------------------------------
+# command execution (the tau transition body)
+# ---------------------------------------------------------------------------
+
+def exec_call(spec: PlatformSpec, state: OsState,
+              pid: int) -> FrozenSet[OsStateOrSpecial]:
+    """Execute process ``pid``'s pending call, returning all outcomes.
+
+    Every outcome has its directory handles refreshed so that open
+    handles observe the change immediately (see :func:`_refresh_handles`).
+    """
+    return frozenset(_refresh_handles(out)
+                     for out in _exec_call_inner(spec, state, pid))
+
+
+def _exec_call_inner(spec: PlatformSpec, state: OsState,
+                     pid: int) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    assert isinstance(proc.run, RsCalling)
+    cmd = proc.run.cmd
+    env = _fs_env(spec, proc)
+    fs = state.fs
+
+    def rn_of(path: str, follow: Follow):
+        return resolve(spec, fs, proc.cwd, path, follow, env.perm)
+
+    # -- pure path commands, delegated to the file-system module ---------
+    if isinstance(cmd, C.Mkdir):
+        return _convert_outcomes(state, pid, fsop_mkdir(
+            env, fs, rn_of(cmd.path, Follow.NOFOLLOW), cmd.mode))
+    if isinstance(cmd, C.Rmdir):
+        return _convert_outcomes(state, pid, fsop_rmdir(
+            env, fs, rn_of(cmd.path, Follow.NOFOLLOW)))
+    if isinstance(cmd, C.Unlink):
+        return _convert_outcomes(state, pid, fsop_unlink(
+            env, fs, rn_of(cmd.path, Follow.NOFOLLOW)))
+    if isinstance(cmd, C.StatCmd):
+        return _convert_outcomes(state, pid, fsop_stat(
+            env, fs, rn_of(cmd.path, Follow.FOLLOW)))
+    if isinstance(cmd, C.LstatCmd):
+        return _convert_outcomes(state, pid, fsop_lstat(
+            env, fs, rn_of(cmd.path, Follow.NOFOLLOW)))
+    if isinstance(cmd, C.Truncate):
+        return _convert_outcomes(state, pid, fsop_truncate(
+            env, fs, rn_of(cmd.path, Follow.FOLLOW), cmd.length))
+    if isinstance(cmd, C.Chmod):
+        return _convert_outcomes(state, pid, fsop_chmod(
+            env, fs, rn_of(cmd.path, Follow.FOLLOW), cmd.mode))
+    if isinstance(cmd, C.Chown):
+        return _convert_outcomes(state, pid, fsop_chown(
+            env, fs, rn_of(cmd.path, Follow.FOLLOW), cmd.uid, cmd.gid))
+    if isinstance(cmd, C.Symlink):
+        return _convert_outcomes(state, pid, fsop_symlink(
+            env, fs, cmd.target, rn_of(cmd.linkpath, Follow.NOFOLLOW)))
+    if isinstance(cmd, C.Rename):
+        return _convert_outcomes(state, pid, fsop_rename(
+            env, fs, rn_of(cmd.src, Follow.NOFOLLOW),
+            rn_of(cmd.dst, Follow.NOFOLLOW)))
+    if isinstance(cmd, C.Link):
+        return _exec_link(spec, state, pid, env, cmd)
+    if isinstance(cmd, C.Readlink):
+        return _exec_readlink(spec, state, pid, env, cmd)
+    if isinstance(cmd, C.Open):
+        return _exec_open(spec, state, pid, env, cmd)
+
+    # -- descriptor commands -----------------------------------------------
+    if isinstance(cmd, C.Close):
+        return _exec_close(state, pid, cmd)
+    if isinstance(cmd, C.Read):
+        return _exec_read(spec, state, pid, cmd.fd, cmd.count,
+                          offset=None)
+    if isinstance(cmd, C.Pread):
+        if cmd.offset < 0:
+            cover("osapi.pread.negative_offset")
+            return _err(state, pid, Errno.EINVAL)
+        return _exec_read(spec, state, pid, cmd.fd, cmd.count,
+                          offset=cmd.offset)
+    if isinstance(cmd, C.Write):
+        return _exec_write(spec, state, pid, cmd.fd, cmd.data, offset=None)
+    if isinstance(cmd, C.Pwrite):
+        if cmd.offset < 0:
+            cover("osapi.pwrite.negative_offset")
+            return _err(state, pid, Errno.EINVAL)
+        return _exec_write(spec, state, pid, cmd.fd, cmd.data,
+                           offset=cmd.offset)
+    if isinstance(cmd, C.Lseek):
+        return _exec_lseek(state, pid, cmd)
+
+    # -- directory handles ---------------------------------------------------
+    if isinstance(cmd, C.Opendir):
+        return _exec_opendir(spec, state, pid, env, cmd)
+    if isinstance(cmd, C.Readdir):
+        return _exec_readdir(state, pid, cmd)
+    if isinstance(cmd, C.Rewinddir):
+        return _exec_rewinddir(state, pid, cmd)
+    if isinstance(cmd, C.Closedir):
+        return _exec_closedir(state, pid, cmd)
+
+    # -- process state ------------------------------------------------------
+    if isinstance(cmd, C.Chdir):
+        return _exec_chdir(spec, state, pid, env, cmd)
+    if isinstance(cmd, C.Umask):
+        cover("osapi.umask.success")
+        proc2 = dataclasses.replace(proc, umask=cmd.mask & 0o777)
+        state2 = state.with_proc(pid, proc2)
+        return _ok(state2, pid, RvNum(proc.umask))
+
+    raise NotImplementedError(f"unhandled command: {cmd!r}")
+
+
+def _exec_link(spec: PlatformSpec, state: OsState, pid: int, env: FsEnv,
+               cmd: C.Link) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    fs = state.fs
+
+    def rn_src(follow: Follow):
+        return resolve(spec, fs, proc.cwd, cmd.src, follow, env.perm)
+
+    dst = resolve(spec, fs, proc.cwd, cmd.dst, Follow.NOFOLLOW, env.perm)
+    behaviour = spec.link_on_symlink
+    if behaviour is LinkSymlinkBehaviour.LINK_THE_SYMLINK:
+        sources = [rn_src(Follow.NOFOLLOW)]
+    elif behaviour is LinkSymlinkBehaviour.FOLLOW_THE_SYMLINK:
+        sources = [rn_src(Follow.FOLLOW)]
+    else:
+        # POSIX: implementation-defined — either resolution is allowed.
+        cover("osapi.link.either_resolution")
+        sources = [rn_src(Follow.NOFOLLOW), rn_src(Follow.FOLLOW)]
+    lifted: set[OsStateOrSpecial] = set()
+    for src in sources:
+        lifted |= _convert_outcomes(state, pid,
+                                    fsop_link(env, fs, src, dst))
+    return frozenset(lifted)
+
+
+def _exec_readlink(spec: PlatformSpec, state: OsState, pid: int,
+                   env: FsEnv, cmd: C.Readlink
+                   ) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    fs = state.fs
+    rn = resolve(spec, fs, proc.cwd, cmd.path, Follow.NOFOLLOW, env.perm)
+    lifted = set(_convert_outcomes(state, pid, fsop_readlink(env, fs, rn)))
+    if (spec.readlink_trailing_slash_reads_intermediate
+            and cmd.path.endswith("/") and cmd.path.strip("/")):
+        # OS X quirk (section 7.3.2): readlink "s2/" where s2 -> s1 -> dir
+        # returns the contents of s1 instead of EINVAL.
+        noforce = dataclasses.replace(
+            spec, trailing_slash_follows_final_symlink=False)
+        rn1 = resolve(noforce, fs, proc.cwd, cmd.path, Follow.NOFOLLOW,
+                      env.perm)
+        if isinstance(rn1, RnFile) and \
+                fs.file(rn1.fref).kind is FileKind.SYMLINK:
+            target = fs.file(rn1.fref).content.decode("utf-8", "replace")
+            rn2 = resolve(noforce, fs, rn1.parent, target, Follow.NOFOLLOW,
+                          env.perm)
+            if isinstance(rn2, RnFile) and \
+                    fs.file(rn2.fref).kind is FileKind.SYMLINK:
+                cover("osapi.readlink.osx_trailing_quirk")
+                lifted.add(_returning(
+                    state, pid, Ok(RvBytes(fs.file(rn2.fref).content))))
+    return frozenset(lifted)
+
+
+def _exec_open(spec: PlatformSpec, state: OsState, pid: int, env: FsEnv,
+               cmd: C.Open) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    flags = cmd.flags
+    if (flags & OpenFlag.O_CREAT and flags & OpenFlag.O_EXCL) or \
+            flags & OpenFlag.O_NOFOLLOW:
+        follow = Follow.NOFOLLOW
+    else:
+        follow = Follow.FOLLOW
+    rn = resolve(spec, state.fs, proc.cwd, cmd.path, follow, env.perm)
+    results = fsop_open(env, state.fs, rn, flags, cmd.mode)
+    lifted: set[OsStateOrSpecial] = set()
+    for res in results:
+        if res.special is not None:
+            lifted.add(SpecialOsState(res.special, "open"))
+            continue
+        if res.err is not None:
+            lifted |= _err(state.with_fs(res.fs), pid, res.err)
+            continue
+        assert res.target is not None
+        fid = state.next_fid
+        fd = proc.next_fd
+        fid_state = FidState(target=res.target, offset=0, flags=flags)
+        proc2 = dataclasses.replace(
+            proc, fds=proc.fds.set(fd, fid), next_fd=fd + 1)
+        state2 = dataclasses.replace(
+            state.with_fs(res.fs),
+            fids=state.fids.set(fid, fid_state),
+            next_fid=fid + 1,
+        ).with_proc(pid, proc2)
+        lifted.add(_returning(state2, pid, Ok(RvNum(fd))))
+    return frozenset(lifted)
+
+
+def _exec_close(state: OsState, pid: int,
+                cmd: C.Close) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    fid = proc.fds.get(cmd.fd)
+    if fid is None:
+        cover("osapi.close.bad_fd")
+        return _err(state, pid, Errno.EBADF)
+    cover("osapi.close.success")
+    proc2 = dataclasses.replace(proc, fds=proc.fds.remove(cmd.fd))
+    state2 = dataclasses.replace(
+        state, fids=state.fids.discard(fid)).with_proc(pid, proc2)
+    return _ok(state2, pid)
+
+
+def _allowed_io_lengths(spec: PlatformSpec, n: int) -> Iterable[int]:
+    """The transfer lengths enumerated for an n-byte read or write.
+
+    All of 1..n when n is small; otherwise 1..bound plus n itself (the
+    compact form discussed in paper section 3 — full enumeration has
+    "unnecessary cost for tests with large reads or writes").
+    """
+    bound = spec.partial_io_bound
+    if n <= bound:
+        return range(1, n + 1)
+    return list(range(1, bound + 1)) + [n]
+
+
+def _exec_read(spec: PlatformSpec, state: OsState, pid: int, fd: int,
+               count: int,
+               offset: int | None) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    fid = proc.fds.get(fd)
+    if fid is None:
+        cover("osapi.read.bad_fd")
+        return _err(state, pid, Errno.EBADF)
+    fid_state = state.fids[fid]
+    if count < 0:
+        cover("osapi.read.bad_count")
+        return _err(state, pid, Errno.EINVAL)
+    if isinstance(fid_state.target, DirRef):
+        cover("osapi.read.is_dir")
+        return _err(state, pid, Errno.EISDIR)
+    if not fid_state.flags.wants_read:
+        cover("osapi.read.not_readable")
+        return _err(state, pid, Errno.EBADF)
+    pos = fid_state.offset if offset is None else offset
+    content = state.fs.file(fid_state.target).content
+    avail = max(0, len(content) - pos)
+    n = min(count, avail)
+    if n == 0:
+        # End of file (or a zero-byte request): exactly one behaviour.
+        cover("osapi.read.eof")
+        return _ok(state, pid, RvBytes(b""))
+    # The model allows a read to return fewer bytes than requested: one
+    # outcome per possible length (possible-next-state enumeration,
+    # paper section 3).
+    cover("osapi.read.partial")
+    outcomes: set[OsStateOrSpecial] = set()
+    for k in _allowed_io_lengths(spec, n):
+        data = content[pos:pos + k]
+        state2 = state
+        if offset is None:
+            new_fid = dataclasses.replace(fid_state, offset=pos + k)
+            state2 = dataclasses.replace(
+                state, fids=state.fids.set(fid, new_fid))
+        outcomes.add(_returning(state2, pid, Ok(RvBytes(data))))
+    return frozenset(outcomes)
+
+
+def _exec_write(spec: PlatformSpec, state: OsState, pid: int, fd: int,
+                data: bytes,
+                offset: int | None) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    fid = proc.fds.get(fd)
+    if fid is None:
+        cover("osapi.write.bad_fd")
+        if len(data) == 0 and spec.write_zero_bad_fd_may_succeed:
+            # Implementation-defined: writing zero bytes to a bad fd may
+            # report success (one of the acceptable variations of §7.2).
+            cover("osapi.write.zero_bad_fd_loose")
+            return frozenset(_err(state, pid, Errno.EBADF)
+                             | _ok(state, pid, RvNum(0)))
+        return _err(state, pid, Errno.EBADF)
+    fid_state = state.fids[fid]
+    if isinstance(fid_state.target, DirRef) or \
+            not fid_state.flags.wants_write:
+        cover("osapi.write.not_writable")
+        return _err(state, pid, Errno.EBADF)
+    fref: FileRef = fid_state.target
+    size = state.fs.file_size(fref)
+    appending = bool(fid_state.flags & OpenFlag.O_APPEND)
+    if offset is None:
+        pos = size if appending else fid_state.offset
+        if appending:
+            cover("osapi.write.append_seeks_end")
+    else:
+        if appending and spec.pwrite_append_ignores_offset:
+            # Linux platform convention (section 7.3.3): pwrite+O_APPEND
+            # ignores the offset and appends.
+            cover("osapi.pwrite.append_quirk")
+            pos = size
+        else:
+            pos = offset
+    if len(data) == 0:
+        return _ok(state, pid, RvNum(0))
+    cover("osapi.write.partial")
+    outcomes: set[OsStateOrSpecial] = set()
+    for k in _allowed_io_lengths(spec, len(data)):
+        fs2 = state.fs.write_span(fref, pos, data[:k])
+        state2 = state.with_fs(fs2)
+        if offset is None:
+            new_fid = dataclasses.replace(fid_state, offset=pos + k)
+            state2 = dataclasses.replace(
+                state2, fids=state2.fids.set(fid, new_fid))
+        outcomes.add(_returning(state2, pid, Ok(RvNum(k))))
+    return frozenset(outcomes)
+
+
+def _exec_lseek(state: OsState, pid: int,
+                cmd: C.Lseek) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    fid = proc.fds.get(cmd.fd)
+    if fid is None:
+        cover("osapi.lseek.bad_fd")
+        return _err(state, pid, Errno.EBADF)
+    fid_state = state.fids[fid]
+    if isinstance(fid_state.target, DirRef):
+        size = 0
+    else:
+        size = state.fs.file_size(fid_state.target)
+    base = {SeekWhence.SEEK_SET: 0,
+            SeekWhence.SEEK_CUR: fid_state.offset,
+            SeekWhence.SEEK_END: size}[cmd.whence]
+    new = base + cmd.offset
+    if new < 0:
+        cover("osapi.lseek.negative_result")
+        return _err(state, pid, Errno.EINVAL)
+    cover("osapi.lseek.success")
+    new_fid = dataclasses.replace(fid_state, offset=new)
+    state2 = dataclasses.replace(state, fids=state.fids.set(fid, new_fid))
+    return _ok(state2, pid, RvNum(new))
+
+
+def _exec_opendir(spec: PlatformSpec, state: OsState, pid: int, env: FsEnv,
+                  cmd: C.Opendir) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    rn = resolve(spec, state.fs, proc.cwd, cmd.path, Follow.FOLLOW,
+                 env.perm)
+    if isinstance(rn, RnError):
+        return _err(state, pid, rn.errno)
+    if isinstance(rn, RnNone):
+        cover("osapi.opendir.noent")
+        return _err(state, pid, Errno.ENOENT)
+    if isinstance(rn, RnFile):
+        cover("osapi.opendir.not_dir")
+        return _err(state, pid, Errno.ENOTDIR)
+    assert isinstance(rn, RnDir)
+    if spec.permissions_enabled and not may_read_dir(env, state.fs,
+                                                     rn.dref):
+        cover("osapi.opendir.no_read_permission")
+        return _err(state, pid, Errno.EACCES)
+    cover("osapi.opendir.success")
+    dh_num = proc.next_dh
+    dh_state = dh_open(state.fs, rn.dref)
+    proc2 = dataclasses.replace(
+        proc, dhs=proc.dhs.set(dh_num, dh_state), next_dh=dh_num + 1)
+    return _ok(state.with_proc(pid, proc2), pid, RvNum(dh_num))
+
+
+def _exec_readdir(state: OsState, pid: int,
+                  cmd: C.Readdir) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    dh_state = proc.dhs.get(cmd.dh)
+    if dh_state is None:
+        cover("osapi.readdir.bad_handle")
+        return _err(state, pid, Errno.EBADF)
+    outcomes: set[OsStateOrSpecial] = set()
+    for dh2, rv in dh_readdir_outcomes(state.fs, dh_state):
+        proc2 = dataclasses.replace(proc, dhs=proc.dhs.set(cmd.dh, dh2))
+        outcomes.add(_returning(state.with_proc(pid, proc2), pid, Ok(rv)))
+    return frozenset(outcomes)
+
+
+def _exec_rewinddir(state: OsState, pid: int,
+                    cmd: C.Rewinddir) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    dh_state = proc.dhs.get(cmd.dh)
+    if dh_state is None:
+        cover("osapi.rewinddir.bad_handle")
+        return _err(state, pid, Errno.EBADF)
+    cover("osapi.rewinddir.success")
+    proc2 = dataclasses.replace(
+        proc, dhs=proc.dhs.set(cmd.dh, dh_rewind(state.fs, dh_state)))
+    return _ok(state.with_proc(pid, proc2), pid)
+
+
+def _exec_closedir(state: OsState, pid: int,
+                   cmd: C.Closedir) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    if cmd.dh not in proc.dhs:
+        cover("osapi.closedir.bad_handle")
+        return _err(state, pid, Errno.EBADF)
+    cover("osapi.closedir.success")
+    proc2 = dataclasses.replace(proc, dhs=proc.dhs.remove(cmd.dh))
+    return _ok(state.with_proc(pid, proc2), pid)
+
+
+def _exec_chdir(spec: PlatformSpec, state: OsState, pid: int, env: FsEnv,
+                cmd: C.Chdir) -> FrozenSet[OsStateOrSpecial]:
+    proc = state.proc(pid)
+    rn = resolve(spec, state.fs, proc.cwd, cmd.path, Follow.FOLLOW,
+                 env.perm)
+    if isinstance(rn, RnError):
+        return _err(state, pid, rn.errno)
+    if isinstance(rn, RnNone):
+        cover("osapi.chdir.noent")
+        return _err(state, pid, Errno.ENOENT)
+    if isinstance(rn, RnFile):
+        cover("osapi.chdir.not_dir")
+        return _err(state, pid, Errno.ENOTDIR)
+    assert isinstance(rn, RnDir)
+    if spec.permissions_enabled and not may_search_dir(env, state.fs,
+                                                       rn.dref):
+        cover("osapi.chdir.no_search_permission")
+        return _err(state, pid, Errno.EACCES)
+    cover("osapi.chdir.success")
+    proc2 = dataclasses.replace(proc, cwd=rn.dref)
+    return _ok(state.with_proc(pid, proc2), pid)
+
+
+# ---------------------------------------------------------------------------
+# os_trans
+# ---------------------------------------------------------------------------
+
+def os_trans(spec: PlatformSpec, state: OsStateOrSpecial,
+             label: OsLabel) -> FrozenSet[OsStateOrSpecial]:
+    """The LTS transition function.
+
+    An empty result set means the label is not allowed from this state.
+    Special states absorb every label: once behaviour is undefined /
+    unspecified, the model imposes no further constraints.
+    """
+    if isinstance(state, SpecialOsState):
+        return frozenset({state})
+
+    if isinstance(label, OsCreate):
+        if label.pid in state.procs:
+            return frozenset()
+        cover("osapi.create_process")
+        members = state.groups.get(label.gid, frozenset()) | {label.uid}
+        groups = state.groups.set(label.gid, members)
+        state2 = dataclasses.replace(state, groups=groups)
+        proc = Process(cwd=state.fs.root, uid=label.uid, gid=label.gid,
+                       groups=state2.groups_of(label.uid), umask=0o022,
+                       fds=fdict(), dhs=fdict(), run=RsRunning())
+        return frozenset({state2.with_proc(label.pid, proc)})
+
+    if isinstance(label, OsDestroy):
+        proc = state.procs.get(label.pid)
+        if proc is None or not isinstance(proc.run, RsRunning):
+            return frozenset()
+        cover("osapi.destroy_process")
+        fids = state.fids
+        for fid in proc.fds.values():
+            fids = fids.discard(fid)
+        return frozenset({dataclasses.replace(
+            state, procs=state.procs.remove(label.pid), fids=fids)})
+
+    if isinstance(label, OsCall):
+        proc = state.procs.get(label.pid)
+        if proc is None or not isinstance(proc.run, RsRunning):
+            return frozenset()
+        cover("osapi.call")
+        return frozenset({state.with_proc(
+            label.pid, proc.with_run(RsCalling(label.cmd)))})
+
+    if isinstance(label, OsTau):
+        results: set[OsStateOrSpecial] = set()
+        for pid, proc in state.procs.items():
+            if isinstance(proc.run, RsCalling):
+                results |= exec_call(spec, state, pid)
+        return frozenset(results)
+
+    if isinstance(label, OsReturn):
+        proc = state.procs.get(label.pid)
+        if proc is None or not isinstance(proc.run, RsReturning):
+            return frozenset()
+        if proc.run.ret != label.ret:
+            return frozenset()
+        cover("osapi.return")
+        return frozenset({state.with_proc(
+            label.pid, proc.with_run(RsRunning()))})
+
+    if isinstance(label, (OsSignal, OsSpin)):
+        # The model never allows a call to kill or hang the process.
+        return frozenset()
+
+    raise NotImplementedError(f"unhandled label: {label!r}")
+
+
+def tau_closure(spec: PlatformSpec,
+                states: FrozenSet[OsStateOrSpecial]
+                ) -> FrozenSet[OsStateOrSpecial]:
+    """All states reachable by executing pending calls in any order.
+
+    This is how the checker copes with concurrency nondeterminism: from
+    each state, every interleaving of pending tau transitions is explored
+    (paper section 3, "Concurrency nondeterminism via state sets").  The
+    original states (with calls still pending) are retained — a pending
+    call need not have taken effect yet.
+    """
+    seen: set[OsStateOrSpecial] = set(states)
+    frontier: List[OsStateOrSpecial] = list(states)
+    while frontier:
+        current = frontier.pop()
+        for succ in os_trans(spec, current, OsTau()):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return frozenset(seen)
+
+
+def allowed_returns(states: Iterable[OsStateOrSpecial],
+                    pid: int) -> List[ReturnValue]:
+    """The pending return values for ``pid`` across a state set.
+
+    Used by the checker's diagnostics: "allowed are only: ...".
+    """
+    rets = []
+    seen = set()
+    for state in states:
+        if isinstance(state, SpecialOsState):
+            continue
+        proc = state.procs.get(pid)
+        if proc is not None and isinstance(proc.run, RsReturning):
+            if proc.run.ret not in seen:
+                seen.add(proc.run.ret)
+                rets.append(proc.run.ret)
+    return rets

@@ -1,0 +1,14 @@
+"""Path resolution (the paper's *path resolution* module, Fig. 5).
+
+Resolution of raw path strings is deliberately confined here: the file
+system module's API is expressed over :class:`~repro.pathres.resname`
+resolved names, keeping the per-command semantics unpolluted by the tricky
+details of trailing slashes, symlink following and permissions.
+"""
+
+from repro.pathres.resname import (Follow, ResName, RnDir, RnError, RnFile,
+                                   RnNone)
+from repro.pathres.resolve import PermEnv, resolve, split_path
+
+__all__ = ["Follow", "ResName", "RnDir", "RnError", "RnFile", "RnNone",
+           "PermEnv", "resolve", "split_path"]

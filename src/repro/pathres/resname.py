@@ -1,0 +1,86 @@
+"""Resolved names: the output type of path resolution (``res_name``).
+
+Intuitively resolution has four possible results (paper section 5): a
+directory, a non-directory file, "none" (a nonexistent entry in an
+existing directory — the useful case for creating functions like
+``mkdir``), or an error.
+
+The variants carry a little more information than the bare reference:
+where the object sits in its parent (needed by ``rename``/``unlink``),
+whether the original path had a trailing slash (several platform quirks
+hinge on this), and whether the final component was reached by following a
+symlink (needed by ``open`` flag handling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Union
+
+from repro.core.errors import Errno
+from repro.state.heap import DirRef, FileRef
+
+
+class Follow(enum.Enum):
+    """Whether resolution follows a symlink in the final component.
+
+    Which policy applies depends on the libc function (and, for ``open``,
+    on its flags) — e.g. ``stat`` follows, ``lstat`` does not.
+    """
+
+    FOLLOW = "follow"
+    NOFOLLOW = "nofollow"
+
+
+@dataclasses.dataclass(frozen=True)
+class RnDir:
+    """The path resolved to a directory."""
+
+    dref: DirRef
+    #: Where this directory is linked: parent ref and entry name.  None
+    #: for the root directory and for disconnected directories.
+    parent: Optional[DirRef]
+    name: Optional[str]
+    trailing_slash: bool = False
+    via_symlink: bool = False
+    #: Set to "." or ".." when the final path component was a dot entry —
+    #: several commands (rmdir, rename) must reject those specially.
+    last_dot: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class RnFile:
+    """The path resolved to a non-directory file (or symlink object)."""
+
+    parent: DirRef
+    name: str
+    fref: FileRef
+    trailing_slash: bool = False
+    #: True if a final symlink was followed to reach this file.
+    via_symlink: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class RnNone:
+    """The path resolved to a nonexistent entry in an existing directory."""
+
+    parent: DirRef
+    name: str
+    trailing_slash: bool = False
+    #: Set when the final component was a symlink whose target does not
+    #: exist and resolution followed it: the ref of the dangling symlink.
+    #: ``open O_CREAT`` then creates the *target* of the symlink (and
+    #: ``O_EXCL`` must fail with EEXIST on the symlink itself).
+    dangling_symlink: Optional[FileRef] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class RnError:
+    """Resolution failed."""
+
+    errno: Errno
+    detail: str = ""
+
+
+ResName = Union[RnDir, RnFile, RnNone, RnError]

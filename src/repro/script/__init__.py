@@ -1,0 +1,22 @@
+"""Test-script and trace file formats (paper Figs. 2-4).
+
+A *script* is a sequence of commands used to drive a file system under
+test; a *trace* interleaves the commands with the observed return values.
+Both have a line-oriented text syntax with ``@type script`` / ``@type
+trace`` headers, a parser, and a printer; ``parse . print`` is the
+identity (property-tested).
+"""
+
+from repro.script.ast import (CreateEvent, DestroyEvent, Script, ScriptStep,
+                              Trace, TraceEvent)
+from repro.script.parser import (ParseError, parse_command, parse_return,
+                                 parse_script, parse_trace)
+from repro.script.printer import print_script, print_trace
+
+__all__ = [
+    "Script", "ScriptStep", "CreateEvent", "DestroyEvent", "Trace",
+    "TraceEvent",
+    "ParseError", "parse_command", "parse_return", "parse_script",
+    "parse_trace",
+    "print_script", "print_trace",
+]

@@ -1,0 +1,51 @@
+"""Printers for scripts and traces (inverse of the parser)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsReturn,
+                               OsSignal, OsSpin)
+from repro.script.ast import (CreateEvent, DestroyEvent, Script, ScriptStep,
+                              Trace)
+
+
+def print_script(script: Script) -> str:
+    """Render a :class:`Script` in the file format of paper Fig. 2."""
+    lines: List[str] = ["@type script", f"# Test {script.name}"]
+    for item in script.items:
+        if isinstance(item, CreateEvent):
+            lines.append(f"@process create p{item.pid} uid={item.uid} "
+                         f"gid={item.gid}")
+        elif isinstance(item, DestroyEvent):
+            lines.append(f"@process destroy p{item.pid}")
+        else:
+            assert isinstance(item, ScriptStep)
+            prefix = f"p{item.pid}: " if item.pid != 1 else ""
+            lines.append(prefix + item.cmd.render())
+    return "\n".join(lines) + "\n"
+
+
+def print_trace(trace: Trace) -> str:
+    """Render a :class:`Trace` in the file format of paper Fig. 3."""
+    lines: List[str] = ["@type trace", f"# Test {trace.name}"]
+    for event in trace.events:
+        label = event.label
+        if isinstance(label, OsCreate):
+            lines.append(f"@process create p{label.pid} uid={label.uid} "
+                         f"gid={label.gid}")
+        elif isinstance(label, OsDestroy):
+            lines.append(f"@process destroy p{label.pid}")
+        elif isinstance(label, OsCall):
+            prefix = f"p{label.pid}: " if label.pid != 1 else ""
+            lines.append(f"{event.line_no}: {prefix}{label.cmd.render()}")
+        elif isinstance(label, OsReturn):
+            prefix = f"p{label.pid}: " if label.pid != 1 else ""
+            lines.append(prefix + label.ret.render())
+        elif isinstance(label, OsSignal):
+            lines.append(f"p{label.pid}: !signal {label.signal}")
+        elif isinstance(label, OsSpin):
+            lines.append(f"p{label.pid}: !spin")
+        else:
+            raise TypeError(f"unprintable label: {label!r}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,13 @@
+"""State module: the abstract dir-heap over which the model works.
+
+Corresponds to the paper's *state* module (Fig. 5): a finite map from
+directory references to directories and from file references to files,
+abstracting away from block-structured storage entirely.
+"""
+
+from repro.state.meta import Meta
+from repro.state.heap import (Dir, DirRef, File, FileRef, FsState, Ref,
+                              empty_fs)
+
+__all__ = ["Meta", "Dir", "DirRef", "File", "FileRef", "FsState", "Ref",
+           "empty_fs"]

@@ -1,0 +1,44 @@
+"""Per-object metadata: ownership, mode bits and timestamps.
+
+Timestamps belong to the *timestamps trait* (paper section 4): when the
+trait is off they stay at zero and are ignored; in immediate mode they are
+set from the model's logical clock on every relevant operation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.flags import MODE_MASK
+
+
+@dataclasses.dataclass(frozen=True)
+class Meta:
+    """Ownership, permission bits, and (logical) timestamps."""
+
+    mode: int
+    uid: int
+    gid: int
+    atime: int = 0
+    mtime: int = 0
+    ctime: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode & ~MODE_MASK:
+            raise ValueError(f"mode 0o{self.mode:o} has non-permission bits")
+
+    def with_mode(self, mode: int) -> "Meta":
+        return dataclasses.replace(self, mode=mode & MODE_MASK)
+
+    def with_owner(self, uid: int, gid: int) -> "Meta":
+        return dataclasses.replace(self, uid=uid, gid=gid)
+
+    def touched(self, *, atime: int | None = None, mtime: int | None = None,
+                ctime: int | None = None) -> "Meta":
+        """Return metadata with the given timestamps updated."""
+        return dataclasses.replace(
+            self,
+            atime=self.atime if atime is None else atime,
+            mtime=self.mtime if mtime is None else mtime,
+            ctime=self.ctime if ctime is None else ctime,
+        )

@@ -1,0 +1,34 @@
+"""Test generation by equivalence partitioning (paper section 6.1).
+
+Tests are generated combinatorially from a catalogue of *path
+situations* — equivalence classes of paths based on the properties that
+are believed to affect file-system behaviour (trailing slash, number of
+leading slashes, what the path resolves to, symlink components, ...).
+Commands taking two paths are tested on all pairs of situations plus the
+cross-path classes (equal paths, hard links to the same file, one path a
+proper prefix of the other).
+"""
+
+from repro.testgen.properties import (PathProps, Resolution,
+                                      impossible_combination,
+                                      missing_combinations)
+from repro.testgen.situations import (SCAFFOLD, SITUATIONS, PathSituation,
+                                      situation_by_key)
+from repro.testgen.generator import (gen_fd_tests, gen_handle_tests,
+                                     gen_handwritten_tests,
+                                     gen_one_path_tests, gen_open_tests,
+                                     gen_permission_tests,
+                                     gen_two_path_tests)
+from repro.testgen.randomized import random_script, random_suite
+from repro.testgen.suite import generate_suite, suite_summary
+
+__all__ = [
+    "PathProps", "Resolution", "impossible_combination",
+    "missing_combinations",
+    "SCAFFOLD", "SITUATIONS", "PathSituation", "situation_by_key",
+    "gen_one_path_tests", "gen_two_path_tests", "gen_open_tests",
+    "gen_handwritten_tests",
+    "gen_fd_tests", "gen_handle_tests", "gen_permission_tests",
+    "random_script", "random_suite",
+    "generate_suite", "suite_summary",
+]

@@ -1,0 +1,192 @@
+"""The catalogue of path situations (equivalence-class representatives).
+
+Every situation is one representative path, evaluated against a standard
+scaffold state, together with its :class:`~repro.testgen.properties.PathProps`
+vector.  The catalogue is generated mechanically so that each
+logically-possible property combination has at least one representative
+(verified by ``tests/test_testgen_properties.py``, the analogue of the
+paper's OCaml check).
+
+The scaffold builds, starting from the empty file system:
+
+.. code-block:: text
+
+    d/              directory (non-empty)
+      f             regular file ("content")
+      hl            hard link to d/f
+      ed/           empty directory
+      ne/           non-empty directory (contains "inner")
+      sf2 -> f      symlink to a file (inside d)
+      sd2 -> ed     symlink to a directory (inside d)
+      dang2 -> nowhere
+    sd -> d         symlink to directory (at the root)
+    sf -> d/f       symlink to file
+    dang -> nowhere dangling symlink
+    ssd -> sd       symlink to symlink to directory
+    sl1 <-> sl2     symlink loop
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.testgen.properties import PathProps, Resolution
+
+#: Commands (script syntax) building the scaffold state.  The scaffold
+#: uses fds 3 and 4 and closes them, so tested commands start at fd 5.
+SCAFFOLD: Tuple[str, ...] = (
+    'mkdir "d" 0o755',
+    'mkdir "d/ed" 0o755',
+    'mkdir "d/ne" 0o755',
+    'open "d/ne/inner" [O_CREAT;O_WRONLY] 0o644',
+    'close 3',
+    'open "d/f" [O_CREAT;O_WRONLY] 0o644',
+    'write 4 "content"',
+    'close 4',
+    'link "d/f" "d/hl"',
+    'symlink "f" "d/sf2"',
+    'symlink "ed" "d/sd2"',
+    'symlink "nowhere" "d/dang2"',
+    'symlink "d" "sd"',
+    'symlink "d/f" "sf"',
+    'symlink "nowhere" "dang"',
+    'symlink "sd" "ssd"',
+    'symlink "sl2" "sl1"',
+    'symlink "sl1" "sl2"',
+)
+
+#: Number of libc calls the scaffold performs.
+SCAFFOLD_CALLS = len(SCAFFOLD)
+
+
+@dataclasses.dataclass(frozen=True)
+class PathSituation:
+    """One equivalence-class representative."""
+
+    key: str
+    path: str
+    props: PathProps
+    note: str = ""
+
+
+def _props(ends_slash: bool, leading: int, resolution: Resolution,
+           dir_empty: Optional[bool], symcomp: bool,
+           empty: bool = False) -> PathProps:
+    return PathProps(ends_slash=ends_slash, leading_slashes=leading,
+                     empty=empty, resolution=resolution,
+                     dir_empty=dir_empty, symlink_component=symcomp)
+
+
+def _generate() -> List[PathSituation]:
+    situations: List[PathSituation] = []
+
+    # Relative representative per (resolution, symlink_component).  The
+    # symlink-component route goes through "sd" (a symlink to "d").
+    base: Dict[Tuple[Resolution, Optional[bool], bool], str] = {
+        (Resolution.FILE, None, False): "d/f",
+        (Resolution.FILE, None, True): "sd/f",
+        (Resolution.DIR, True, False): "d/ed",
+        (Resolution.DIR, True, True): "sd/ed",
+        (Resolution.DIR, False, False): "d/ne",
+        (Resolution.DIR, False, True): "sd/ne",
+        (Resolution.SYMLINK_FILE, None, False): "sf",
+        (Resolution.SYMLINK_FILE, None, True): "sd/sf2",
+        (Resolution.SYMLINK_DIR, None, False): "sd",
+        (Resolution.SYMLINK_DIR, None, True): "sd/sd2",
+        (Resolution.DANGLING, None, False): "dang",
+        (Resolution.DANGLING, None, True): "sd/dang2",
+        (Resolution.NONE, None, False): "d/nx",
+        (Resolution.NONE, None, True): "sd/nx",
+        (Resolution.ERROR, None, False): "nxd/nx",
+        (Resolution.ERROR, None, True): "sd/nxd/nx",
+    }
+    for (resolution, dir_empty, symcomp), rel in base.items():
+        for leading in (0, 1):
+            for ends_slash in (False, True):
+                path = ("/" + rel) if leading else rel
+                if ends_slash:
+                    path += "/"
+                key = path.strip("/").replace("/", "_")
+                key = f"{key}{'_abs' if leading else ''}" \
+                      f"{'_slash' if ends_slash else ''}"
+                situations.append(PathSituation(
+                    key=key, path=path,
+                    props=_props(ends_slash, leading, resolution,
+                                 dir_empty, symcomp)))
+
+    # Special cases with their own classes.
+    specials = [
+        PathSituation("empty", "", _props(
+            False, 0, Resolution.ERROR, None, False, empty=True),
+            "the empty path (always ENOENT)"),
+        PathSituation("root", "/", _props(
+            True, 1, Resolution.DIR, False, False),
+            "the root directory"),
+        PathSituation("root2", "//", _props(
+            True, 2, Resolution.DIR, False, False),
+            "two leading slashes: implementation-defined in POSIX"),
+        PathSituation("root3", "///", _props(
+            True, 3, Resolution.DIR, False, False),
+            "three or more leading slashes resolve at the root"),
+        PathSituation("dslash_file", "//d/f", _props(
+            False, 2, Resolution.FILE, None, False),
+            "// prefix on an ordinary path"),
+        PathSituation("tslash_file_abs3", "///d/f/", _props(
+            True, 3, Resolution.FILE, None, False)),
+        PathSituation("dot", ".", _props(
+            False, 0, Resolution.DIR, False, False),
+            "the working directory (the root in the scaffold)"),
+        PathSituation("dotdot", "..", _props(
+            False, 0, Resolution.DIR, False, False),
+            ".. at the root resolves to the root"),
+        PathSituation("file_component", "d/f/x", _props(
+            False, 0, Resolution.ERROR, None, False),
+            "a regular file used as an intermediate component (ENOTDIR)"),
+        PathSituation("hardlink", "d/hl", _props(
+            False, 0, Resolution.FILE, None, False),
+            "a second hard link to d/f"),
+        PathSituation("symloop", "sl1", _props(
+            False, 0, Resolution.ERROR, None, False),
+            "a symlink loop (ELOOP)"),
+        PathSituation("symloop_member", "sl1/x", _props(
+            False, 0, Resolution.ERROR, None, True),
+            "a member of a symlink loop (ELOOP)"),
+        PathSituation("ssd_chain", "ssd", _props(
+            False, 0, Resolution.SYMLINK_DIR, None, False),
+            "a symlink to a symlink to a directory"),
+        PathSituation("ssd_chain_slash", "ssd/", _props(
+            True, 0, Resolution.SYMLINK_DIR, None, False),
+            "the OS X readlink trailing-slash quirk case"),
+        PathSituation("longname", "x" * 300, _props(
+            False, 0, Resolution.ERROR, None, False),
+            "a component longer than NAME_MAX (ENAMETOOLONG)"),
+    ]
+    situations.extend(specials)
+    return situations
+
+
+SITUATIONS: Tuple[PathSituation, ...] = tuple(_generate())
+
+_BY_KEY = {s.key: s for s in SITUATIONS}
+
+
+def situation_by_key(key: str) -> PathSituation:
+    return _BY_KEY[key]
+
+
+#: A reduced core used for the quadratic two-path generators: one
+#: representative per (resolution, dir_empty, symlink-component,
+#: trailing-slash-on-file/none) class, relative paths only.
+CORE_KEYS: Tuple[str, ...] = (
+    "d_f", "d_f_slash", "sd_f",
+    "d_ed", "d_ed_slash", "d_ne",
+    "sf", "sd", "dang", "dang_slash",
+    "d_nx", "d_nx_slash", "sd_nx",
+    "nxd_nx", "file_component",
+    "hardlink", "root", "dot",
+)
+
+
+def core_situations() -> List[PathSituation]:
+    return [_BY_KEY[k] for k in CORE_KEYS]

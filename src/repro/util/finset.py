@@ -1,0 +1,30 @@
+"""Finite-set helpers (the analogue of Lem's ``finset``).
+
+The transition function of the model returns a *finite set* of successor
+states (paper section 5, ``os_trans``).  Plain frozensets are the natural
+Python representation; this module provides the constructors and the
+union-fold the checker uses at every trace step.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+def finset(*items: T) -> FrozenSet[T]:
+    """Build a frozenset from the given elements."""
+    return frozenset(items)
+
+
+def union_all(sets: Iterable[FrozenSet[T]]) -> FrozenSet[T]:
+    """Union of an iterable of frozensets.
+
+    This is the per-label step of trace checking: ``S_{i+1}`` is the union
+    of ``os_trans(s, lbl)`` over every ``s`` in ``S_i``.
+    """
+    out: set[T] = set()
+    for s in sets:
+        out.update(s)
+    return frozenset(out)

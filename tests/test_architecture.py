@@ -1,0 +1,93 @@
+"""Architectural checks: the modular structure of paper Fig. 5.
+
+The layering is: state < path resolution < file system < POSIX API,
+with the checker on top.  Lower layers must not import higher ones —
+this is what keeps the file-system semantics "unpolluted by the tricky
+details of path resolution" and vice versa.
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).parent
+
+#: module prefix -> layer index (higher may import lower, not converse).
+LAYERS = {
+    "repro.util": 0,
+    "repro.core": 1,
+    "repro.state": 2,
+    "repro.perms": 3,
+    "repro.pathres": 4,
+    "repro.fsops": 5,
+    "repro.osapi": 6,
+    "repro.checker": 7,
+    "repro.script": 7,
+    "repro.fsimpl": 8,
+    "repro.executor": 9,
+    "repro.testgen": 9,
+    "repro.harness": 10,
+}
+
+
+def _layer_of(module: str):
+    for prefix, layer in LAYERS.items():
+        if module == prefix or module.startswith(prefix + "."):
+            return layer
+    return None
+
+
+def _imports_of(path: pathlib.Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module
+
+
+def test_layering_respected():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC.parent)
+        module = ".".join(rel.with_suffix("").parts)
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        my_layer = _layer_of(module)
+        if my_layer is None:
+            continue
+        for imported in _imports_of(path):
+            dep_layer = _layer_of(imported)
+            if dep_layer is not None and dep_layer > my_layer:
+                violations.append(f"{module} -> {imported}")
+    assert violations == [], "\n".join(violations)
+
+
+def test_fsops_never_sees_raw_paths():
+    """The file-system module's API is expressed over resolved names:
+    no fsops module may call resolve()."""
+    for path in sorted((SRC / "fsops").rglob("*.py")):
+        for imported in _imports_of(path):
+            assert imported != "repro.pathres.resolve", path.name
+
+
+def test_every_module_has_docstring():
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        if ast.get_docstring(tree) is None:
+            missing.append(str(path.relative_to(SRC)))
+    assert missing == [], f"modules without docstrings: {missing}"
+
+
+def test_public_api_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_model_module_inventory_matches_fig5():
+    """The four model modules of Fig. 5 exist as packages."""
+    for package in ("state", "pathres", "fsops", "osapi"):
+        assert (SRC / package / "__init__.py").exists(), package

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+GOOD_TRACE = """\
+@type trace
+# Test good
+1: mkdir "a" 0o755
+RV_none
+"""
+
+LINUX_TRACE = """\
+@type trace
+# Test linux_only
+1: mkdir "a" 0o755
+RV_none
+2: unlink "a"
+EISDIR
+"""
+
+FIG4_SCRIPT = """\
+@type script
+# Test fig4
+mkdir "emptydir" 0o777
+mkdir "nonemptydir" 0o777
+open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+rename "emptydir" "nonemptydir"
+"""
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.trace"
+    path.write_text(LINUX_TRACE)
+    return str(path)
+
+
+@pytest.fixture
+def script_file(tmp_path):
+    path = tmp_path / "t.script"
+    path.write_text(FIG4_SCRIPT)
+    return str(path)
+
+
+class TestCheck:
+    def test_accepting_model_exit_zero(self, trace_file, capsys):
+        assert main(["check", trace_file, "--model", "linux"]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_rejecting_model_exit_one(self, trace_file, capsys):
+        assert main(["check", trace_file, "--model", "osx"]) == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out and "EPERM" in out
+
+
+class TestExec:
+    def test_exec_produces_trace(self, script_file, capsys):
+        assert main(["exec", script_file, "--config",
+                     "linux_ext4"]) == 0
+        out = capsys.readouterr().out
+        assert "@type trace" in out and "ENOTEMPTY" in out
+
+    def test_exec_check_detects_sshfs(self, script_file, capsys):
+        assert main(["exec", script_file, "--config",
+                     "linux_sshfs_tmpfs", "--check"]) == 1
+        assert "allowed are only" in capsys.readouterr().out
+
+
+class TestGenRun:
+    def test_gen_writes_scripts(self, tmp_path, capsys):
+        out_dir = tmp_path / "suite"
+        assert main(["gen", "--out", str(out_dir)]) == 0
+        files = list(out_dir.glob("*.script"))
+        assert len(files) > 2000
+        # Spot-check one file parses.
+        from repro.script import parse_script
+        parse_script(files[0].read_text())
+
+    def test_run_with_limit_and_html(self, tmp_path, capsys):
+        report = tmp_path / "report.html"
+        code = main(["run", "--config", "linux_sshfs_tmpfs",
+                     "--limit", "40", "--html", str(report)])
+        assert code == 1  # sshfs deviates
+        assert report.exists()
+        assert "<!DOCTYPE html>" in report.read_text()
+
+
+class TestAnalysis:
+    def test_portability(self, trace_file, capsys):
+        assert main(["portability", trace_file]) == 1
+        out = capsys.readouterr().out
+        assert "accepted on" in out and "linux" in out
+
+    def test_debug(self, trace_file, capsys):
+        assert main(["debug", trace_file, "--model", "linux"]) == 0
+        assert "|S|" in capsys.readouterr().out
+
+    def test_reduce(self, script_file, capsys):
+        assert main(["reduce", script_file, "--config",
+                     "linux_sshfs_tmpfs"]) == 0
+        out = capsys.readouterr().out
+        assert "@type script" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "linux_sshfs_tmpfs" in out and "osx_openzfs" in out
+
+    def test_survey_subset(self, capsys):
+        code = main(["survey", "--configs",
+                     "linux_ext4,linux_sshfs_tmpfs", "--limit", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linux_sshfs_tmpfs" in out

@@ -1,0 +1,105 @@
+"""Tests for the specification monad and the parallel combinator."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.combinators import (CheckResult, PASS, Outcome,
+                                    error_outcomes, errors, fails,
+                                    guarded, may_fail, ok, parallel,
+                                    special, union)
+from repro.core.errors import Errno
+from repro.core.values import Err, Ok, RvNone, Special
+
+
+class TestCheckResults:
+    def test_pass_passes(self):
+        assert PASS.passes
+
+    def test_fails_is_mandatory(self):
+        result = fails(Errno.ENOENT, Errno.EACCES)
+        assert not result.passes
+        assert result.mandatory == {Errno.ENOENT, Errno.EACCES}
+
+    def test_may_fail_still_passes(self):
+        result = may_fail(Errno.EEXIST)
+        assert result.passes
+        assert result.optional == {Errno.EEXIST}
+
+
+class TestParallel:
+    def test_all_pass(self):
+        assert parallel(lambda: PASS, lambda: PASS).passes
+
+    def test_union_of_errors(self):
+        # The Fig. 6 property: the resulting error may be from any of
+        # the checks, none has priority.
+        result = parallel(lambda: fails(Errno.EISDIR),
+                          lambda: fails(Errno.ENOTEMPTY),
+                          lambda: PASS)
+        assert result.mandatory == {Errno.EISDIR, Errno.ENOTEMPTY}
+
+    def test_optional_merges(self):
+        result = parallel(lambda: may_fail(Errno.EEXIST),
+                          lambda: fails(Errno.EPERM))
+        assert result.mandatory == {Errno.EPERM}
+        assert result.optional == {Errno.EEXIST}
+
+
+class TestGuarded:
+    def test_mandatory_failure_blocks_success(self):
+        state = "s0"
+        outcomes = guarded(state, fails(Errno.ENOENT),
+                           lambda: ok("s1"))
+        assert outcomes == frozenset({Outcome(state, Err(Errno.ENOENT))})
+
+    def test_pass_yields_success(self):
+        outcomes = guarded("s0", PASS, lambda: ok("s1"))
+        assert outcomes == frozenset({Outcome("s1", Ok(RvNone()))})
+
+    def test_optional_error_yields_both(self):
+        outcomes = guarded("s0", may_fail(Errno.EEXIST),
+                           lambda: ok("s1"))
+        rets = {out.ret for out in outcomes}
+        assert Ok(RvNone()) in rets
+        assert Err(Errno.EEXIST) in rets
+
+    def test_error_outcomes_keep_input_state(self):
+        # The POSIX invariant: failing calls leave the state unchanged.
+        outs = error_outcomes("s0", fails(Errno.EPERM, Errno.EACCES))
+        assert all(out.state == "s0" for out in outs)
+        assert len(outs) == 2
+
+
+class TestHelpers:
+    def test_errors_builds_all(self):
+        outs = errors("s", Errno.EPERM, Errno.EACCES)
+        assert {out.ret.errno for out in outs} == {Errno.EPERM,
+                                                   Errno.EACCES}
+
+    def test_special(self):
+        (out,) = special("s", "undefined", "detail")
+        assert isinstance(out.ret, Special)
+        assert out.ret.kind == "undefined"
+
+    def test_union_dedupes(self):
+        a = ok("s1")
+        assert union(a, a) == a
+
+
+_ERRNOS = st.sampled_from(list(Errno))
+
+
+@given(st.lists(st.frozensets(_ERRNOS, max_size=3), max_size=5))
+def test_parallel_is_union(errsets):
+    checks = [(lambda es=es: CheckResult(mandatory=es)) for es in errsets]
+    result = parallel(*checks)
+    expected = frozenset().union(*errsets) if errsets else frozenset()
+    assert result.mandatory == expected
+
+
+@given(st.frozensets(_ERRNOS, min_size=1, max_size=4))
+def test_guarded_error_set_matches_checks(errs):
+    outcomes = guarded("s0", CheckResult(mandatory=errs),
+                       lambda: ok("s1"))
+    assert {out.ret.errno for out in outcomes} == errs
+    assert all(out.state == "s0" for out in outcomes)

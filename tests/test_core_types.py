@@ -1,0 +1,137 @@
+"""Tests for errors, values, flags and command rendering."""
+
+import pytest
+
+from repro.core import commands as C
+from repro.core.errors import Errno, errno_by_name
+from repro.core.flags import (FileKind, OpenFlag, SeekWhence,
+                              parse_open_flags, print_open_flags)
+from repro.core.values import (Err, Ok, RvBytes, RvDirEntry, RvNone, RvNum,
+                               RvStat, Special, Stat, render_return)
+
+
+class TestErrno:
+    def test_lookup_by_name(self):
+        assert errno_by_name("ENOENT") is Errno.ENOENT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            errno_by_name("EWHATEVER")
+
+    def test_str_is_posix_name(self):
+        assert str(Errno.EACCES) == "EACCES"
+
+    def test_ordering_is_alphabetical(self):
+        assert Errno.EACCES < Errno.ENOENT
+        assert sorted([Errno.EPERM, Errno.EACCES]) == [Errno.EACCES,
+                                                       Errno.EPERM]
+
+
+class TestOpenFlags:
+    def test_parse_basic(self):
+        flags = parse_open_flags("[O_CREAT;O_WRONLY]")
+        assert flags & OpenFlag.O_CREAT
+        assert flags & OpenFlag.O_WRONLY
+
+    def test_parse_empty(self):
+        assert parse_open_flags("[]") == OpenFlag.NONE
+
+    def test_parse_whitespace(self):
+        flags = parse_open_flags("[ O_RDWR ; O_TRUNC ]")
+        assert flags & OpenFlag.O_RDWR and flags & OpenFlag.O_TRUNC
+
+    def test_parse_unknown_flag_raises(self):
+        with pytest.raises(ValueError):
+            parse_open_flags("[O_BOGUS]")
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_open_flags("O_CREAT")
+
+    def test_print_then_parse_roundtrip(self):
+        flags = OpenFlag.O_RDWR | OpenFlag.O_CREAT | OpenFlag.O_EXCL
+        assert parse_open_flags(print_open_flags(flags)) == flags
+
+    def test_wants_read_default(self):
+        # No access-mode flag defaults to read (O_RDONLY semantics).
+        assert OpenFlag.NONE.wants_read
+        assert not OpenFlag.NONE.wants_write
+
+    def test_wants_write(self):
+        assert OpenFlag.O_WRONLY.wants_write
+        assert not OpenFlag.O_WRONLY.wants_read
+        assert OpenFlag.O_RDWR.wants_read
+        assert OpenFlag.O_RDWR.wants_write
+
+    def test_rdonly(self):
+        assert OpenFlag.O_RDONLY.wants_read
+        assert not OpenFlag.O_RDONLY.wants_write
+
+
+class TestReturnValues:
+    def test_render_none(self):
+        assert render_return(Ok(RvNone())) == "RV_none"
+
+    def test_render_num(self):
+        assert render_return(Ok(RvNum(42))) == "RV_num(42)"
+
+    def test_render_bytes(self):
+        assert render_return(Ok(RvBytes(b"hi"))) == "RV_bytes('hi')"
+
+    def test_render_error(self):
+        assert render_return(Err(Errno.ENOENT)) == "ENOENT"
+
+    def test_render_entry(self):
+        assert render_return(Ok(RvDirEntry("f"))) == "RV_entry('f')"
+        assert render_return(Ok(RvDirEntry(None))) == "RV_end_of_dir"
+
+    def test_render_special(self):
+        special = Special("unspecified", "odd open flags")
+        assert "unspecified" in render_return(special)
+
+    def test_err_is_error(self):
+        assert Err(Errno.EPERM).is_error
+        assert not Ok(RvNone()).is_error
+
+    def test_stat_render_contains_fields(self):
+        stat = Stat(kind=FileKind.REGULAR, size=7, nlink=2, uid=1,
+                    gid=2, mode=0o644)
+        text = Ok(RvStat(stat)).render()
+        assert "size=7" in text and "nlink=2" in text \
+            and "mode=0o644" in text
+
+    def test_stat_nlink_none_renders_dash(self):
+        stat = Stat(kind=FileKind.REGULAR, size=0, nlink=None, uid=0,
+                    gid=0, mode=0o644)
+        assert "nlink=-" in stat.render()
+
+    def test_value_equality(self):
+        assert Ok(RvNum(3)) == Ok(RvNum(3))
+        assert Ok(RvNum(3)) != Ok(RvNum(4))
+        assert Err(Errno.ENOENT) != Err(Errno.EPERM)
+
+
+class TestCommands:
+    def test_render_mkdir(self):
+        assert C.Mkdir("a/b", 0o755).render() == 'mkdir "a/b" 0o755'
+
+    def test_render_open(self):
+        text = C.Open("f", OpenFlag.O_CREAT | OpenFlag.O_WRONLY,
+                      0o644).render()
+        assert text.startswith('open "f" [')
+        assert "O_CREAT" in text and "0o644" in text
+
+    def test_render_lseek(self):
+        assert C.Lseek(3, -1, SeekWhence.SEEK_END).render() == \
+            "lseek 3 -1 SEEK_END"
+
+    def test_render_quotes_escaped(self):
+        assert C.Unlink('we"ird').render() == 'unlink "we\\"ird"'
+
+    def test_command_name(self):
+        assert C.command_name(C.Rename("a", "b")) == "rename"
+        assert C.command_name(C.StatCmd("a")) == "stat"
+        assert C.command_name(C.LstatCmd("a")) == "lstat"
+
+    def test_commands_hashable(self):
+        assert len({C.Mkdir("a", 0o755), C.Mkdir("a", 0o755)}) == 1

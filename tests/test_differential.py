@@ -1,0 +1,65 @@
+"""Tests for model-aware differential testing (paper section 8)."""
+
+import dataclasses
+
+from repro.fsimpl import config_by_name
+from repro.harness.differential import differential_run
+from repro.script import parse_script
+
+SCRIPTS = [parse_script(f"@type script\n# Test {name}\n{body}")
+           for name, body in {
+               "fig4": ('mkdir "emptydir" 0o777\n'
+                        'mkdir "nonemptydir" 0o777\n'
+                        'open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666\n'
+                        'rename "emptydir" "nonemptydir"\n'),
+               "nlink": 'mkdir "a" 0o755\nmkdir "a/s" 0o755\nstat "a"\n',
+               "plain": 'mkdir "x" 0o755\nrmdir "x"\n',
+           }.items()]
+
+
+class TestDifferentialRun:
+    def test_identical_configs_no_differences(self):
+        result = differential_run("linux_ext4", "linux_tmpfs", SCRIPTS)
+        assert result.differences == ()
+
+    def test_sshfs_differences_classified_as_deviations(self):
+        result = differential_run("linux_ext4", "linux_sshfs_tmpfs",
+                                  SCRIPTS)
+        names = {d.script_name for d in result.differences}
+        assert "fig4" in names and "nlink" in names
+        assert "plain" not in names
+        for diff in result.differences:
+            # ext4 is conformant; sshfs deviates — a genuine defect,
+            # not benign variability.
+            assert diff.classification == "right-deviates"
+
+    def test_benign_variation_detected(self):
+        # Two configurations differing only in a behaviour the model
+        # leaves open: zero-byte writes to a bad fd (glibc vs musl).
+        script = parse_script(
+            "@type script\n# Test zerowrite\nwrite 99 \"\"\n")
+        result = differential_run("linux_ext4", "linux_ext4_musl",
+                                  [script])
+        (diff,) = result.differences
+        assert diff.classification == "benign-variation"
+        assert "EBADF" in diff.left_obs
+        assert "RV_num(0)" in diff.right_obs
+
+    def test_render(self):
+        result = differential_run("linux_ext4", "linux_sshfs_tmpfs",
+                                  SCRIPTS)
+        text = result.render()
+        assert "right-deviates" in text
+        assert "linux_sshfs_tmpfs" in text
+
+    def test_both_deviate(self):
+        left = dataclasses.replace(config_by_name("linux_btrfs"),
+                                   name="left_btrfs")
+        right = dataclasses.replace(
+            config_by_name("linux_hfsplus"), name="right_hfsplus",
+            dir_nlink_constant=0)
+        result = differential_run(left, right, SCRIPTS)
+        nlink_diffs = [d for d in result.differences
+                       if d.script_name == "nlink"]
+        assert nlink_diffs and \
+            nlink_diffs[0].classification == "both-deviate"

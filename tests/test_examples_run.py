@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: fs_survey.py runs the whole configuration catalogue; the other
+#: examples are fast.  All must exit 0.
+FAST_EXAMPLES = ("quickstart.py", "reference_fs.py",
+                 "sshfs_mount_options.py", "portability_analysis.py")
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_fig4_diagnostic():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=180)
+    assert "allowed are only: EEXIST, ENOTEMPTY" in result.stdout
+
+
+def test_readme_quickstart_snippet():
+    """The code block in README.md works as advertised."""
+    from repro import check_trace, parse_trace, spec_by_name
+
+    trace = parse_trace("""
+@type trace
+# Test rename___rename_emptydir___nonemptydir
+1: mkdir "emptydir" 0o777
+RV_none
+2: mkdir "nonemptydir" 0o777
+RV_none
+3: open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+RV_num(3)
+4: rename "emptydir" "nonemptydir"
+EPERM
+""")
+    checked = check_trace(spec_by_name("posix"), trace)
+    assert checked.accepted is False
+    assert checked.deviations[0].allowed == ("EEXIST", "ENOTEMPTY")

@@ -1,0 +1,85 @@
+"""Tests for the test executor (script -> trace)."""
+
+from repro.core.labels import (OsCall, OsCreate, OsReturn, OsSignal,
+                               OsSpin)
+from repro.executor import execute_script
+from repro.fsimpl import config_by_name
+from repro.script import parse_script
+
+
+def run(cfg_name, body):
+    script = parse_script("@type script\n# Test t\n" + body)
+    return execute_script(config_by_name(cfg_name), script)
+
+
+class TestTraceShape:
+    def test_implicit_process_creation(self):
+        trace = run("linux_ext4", 'mkdir "a" 0o755\n')
+        labels = trace.labels()
+        assert labels[0] == OsCreate(1, 0, 0)
+        assert isinstance(labels[1], OsCall)
+        assert isinstance(labels[2], OsReturn)
+
+    def test_call_return_pairing(self):
+        trace = run("linux_ext4",
+                    'mkdir "a" 0o755\nstat "a"\nrmdir "a"\n')
+        labels = trace.labels()[1:]  # skip create
+        calls = labels[0::2]
+        rets = labels[1::2]
+        assert all(isinstance(l, OsCall) for l in calls)
+        assert all(isinstance(l, OsReturn) for l in rets)
+
+    def test_line_numbers_monotonic(self):
+        trace = run("linux_ext4", 'mkdir "a" 0o755\nrmdir "a"\n')
+        line_nos = [ev.line_no for ev in trace.events]
+        assert line_nos == sorted(line_nos)
+
+    def test_explicit_process_directives(self):
+        trace = run("linux_ext4",
+                    "@process create p2 uid=1000 gid=1000\n"
+                    'p2: mkdir "a" 0o755\n'
+                    "@process destroy p2\n")
+        labels = trace.labels()
+        assert labels[0] == OsCreate(2, 1000, 1000)
+        assert labels[1].pid == 2
+
+    def test_trace_named_after_script(self):
+        script = parse_script(
+            "@type script\n# Test my_test\nmkdir \"a\" 0o755\n")
+        trace = execute_script(config_by_name("linux_ext4"), script)
+        assert trace.name == "my_test"
+
+
+class TestFaultIsolation:
+    def test_signal_recorded_and_process_stopped(self):
+        # OS X pwrite negative-offset kill (§7.3.4): the remaining
+        # commands of the killed process are skipped.
+        trace = run("osx_hfsplus",
+                    'open "f" [O_CREAT;O_WRONLY] 0o644\n'
+                    'pwrite 3 "x" -1\n'
+                    'stat "f"\n')
+        labels = trace.labels()
+        assert OsSignal(1, "SIGXFSZ") in labels
+        # No further call labels after the signal.
+        signal_idx = labels.index(OsSignal(1, "SIGXFSZ"))
+        assert not any(isinstance(l, OsCall)
+                       for l in labels[signal_idx:])
+
+    def test_spin_recorded(self):
+        trace = run("osx_openzfs",
+                    'mkdir "deserted" 0o700\n'
+                    'chdir "deserted"\n'
+                    'rmdir "../deserted"\n'
+                    'open "party" [O_CREAT;O_RDONLY] 0o600\n')
+        assert OsSpin(1) in trace.labels()
+
+    def test_other_processes_continue_after_kill(self):
+        trace = run("osx_hfsplus",
+                    "@process create p2 uid=0 gid=0\n"
+                    'open "f" [O_CREAT;O_WRONLY] 0o644\n'
+                    'pwrite 3 "x" -1\n'
+                    'p2: mkdir "ok" 0o755\n')
+        labels = trace.labels()
+        # p2's call still executes after p1 is killed (paper: "The file
+        # system is still usable by other processes").
+        assert any(isinstance(l, OsCall) and l.pid == 2 for l in labels)

@@ -1,0 +1,124 @@
+"""Unit and property tests for the persistent map underlying all model
+state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fdict import fdict
+
+
+class TestBasics:
+    def test_empty(self):
+        d = fdict()
+        assert len(d) == 0
+        assert list(d) == []
+        assert "x" not in d
+
+    def test_from_mapping(self):
+        d = fdict({"a": 1, "b": 2})
+        assert d["a"] == 1
+        assert d["b"] == 2
+        assert len(d) == 2
+
+    def test_from_pairs(self):
+        d = fdict([("a", 1), ("b", 2)])
+        assert dict(d) == {"a": 1, "b": 2}
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            fdict()["missing"]
+
+    def test_get_default(self):
+        assert fdict({"a": 1}).get("b") is None
+        assert fdict({"a": 1}).get("b", 7) == 7
+
+
+class TestPersistence:
+    def test_set_returns_new_map(self):
+        d0 = fdict({"a": 1})
+        d1 = d0.set("b", 2)
+        assert "b" not in d0
+        assert d1["b"] == 2
+        assert d1["a"] == 1
+
+    def test_set_overwrites(self):
+        d = fdict({"a": 1}).set("a", 9)
+        assert d["a"] == 9
+
+    def test_remove(self):
+        d0 = fdict({"a": 1, "b": 2})
+        d1 = d0.remove("a")
+        assert "a" not in d1
+        assert "a" in d0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            fdict().remove("a")
+
+    def test_discard_missing_is_noop(self):
+        d = fdict({"a": 1})
+        assert d.discard("zzz") is d
+
+    def test_discard_present(self):
+        assert "a" not in fdict({"a": 1}).discard("a")
+
+    def test_update_with(self):
+        d = fdict({"a": 1}).update_with({"b": 2, "a": 3})
+        assert dict(d) == {"a": 3, "b": 2}
+
+    def test_map_values(self):
+        d = fdict({"a": 1, "b": 2}).map_values(lambda v: v * 10)
+        assert dict(d) == {"a": 10, "b": 20}
+
+
+class TestEqualityHashing:
+    def test_equal_regardless_of_insertion_order(self):
+        d1 = fdict([("a", 1), ("b", 2)])
+        d2 = fdict([("b", 2), ("a", 1)])
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+
+    def test_unequal_values(self):
+        assert fdict({"a": 1}) != fdict({"a": 2})
+
+    def test_compare_with_plain_mapping(self):
+        assert fdict({"a": 1}) == {"a": 1}
+        assert fdict({"a": 1}) != {"a": 2}
+
+    def test_usable_in_sets(self):
+        s = {fdict({"a": 1}), fdict({"a": 1}), fdict({"b": 2})}
+        assert len(s) == 2
+
+    def test_repr_deterministic(self):
+        d1 = fdict([("a", 1), ("b", 2)])
+        d2 = fdict([("b", 2), ("a", 1)])
+        assert repr(d1) == repr(d2)
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers()))
+def test_roundtrip_via_dict(items):
+    assert dict(fdict(items)) == items
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers()),
+       st.text(max_size=8), st.integers())
+def test_set_then_get(items, key, value):
+    d = fdict(items).set(key, value)
+    assert d[key] == value
+    assert len(d) == len(items) + (0 if key in items else 1)
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers(), min_size=1))
+def test_remove_then_absent(items):
+    key = sorted(items)[0]
+    d = fdict(items).remove(key)
+    assert key not in d
+    assert len(d) == len(items) - 1
+
+
+@given(st.dictionaries(st.text(max_size=8), st.integers()))
+def test_hash_equals_for_equal_maps(items):
+    d1 = fdict(items)
+    d2 = fdict(list(reversed(list(items.items()))))
+    assert d1 == d2 and hash(d1) == hash(d2)

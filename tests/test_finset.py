@@ -1,0 +1,30 @@
+"""Tests for the finite-set helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.finset import finset, union_all
+
+
+def test_finset_builds_frozenset():
+    s = finset(1, 2, 2, 3)
+    assert s == frozenset({1, 2, 3})
+    assert isinstance(s, frozenset)
+
+
+def test_finset_empty():
+    assert finset() == frozenset()
+
+
+def test_union_all_empty():
+    assert union_all([]) == frozenset()
+
+
+def test_union_all_basic():
+    assert union_all([finset(1, 2), finset(2, 3)]) == frozenset({1, 2, 3})
+
+
+@given(st.lists(st.frozensets(st.integers(-5, 5))))
+def test_union_all_equals_reduce(sets):
+    expected = frozenset().union(*sets) if sets else frozenset()
+    assert union_all(sets) == expected

@@ -1,0 +1,167 @@
+"""Specification tests for the readdir must/may machinery (paper §3)."""
+
+from repro.fsops.dirops import (dh_open, dh_readdir_outcomes, dh_rewind,
+                                dh_update)
+from repro.state.heap import empty_fs
+from repro.state.meta import Meta
+
+META = Meta(mode=0o755, uid=0, gid=0)
+FMETA = Meta(mode=0o644, uid=0, gid=0)
+
+
+def build_dir(names=("a", "b", "c")):
+    fs = empty_fs()
+    fs, d = fs.create_dir(fs.root, "d", META)
+    for name in names:
+        fs, _ = fs.create_file(d, name, FMETA)
+    return fs, d
+
+
+def allowed_names(fs, dh):
+    return {rv.name for _dh2, rv in dh_readdir_outcomes(fs, dh)}
+
+
+def read_entry(fs, dh, name):
+    """Take the outcome in which `name` (or end, for None) was read."""
+    for dh2, rv in dh_readdir_outcomes(fs, dh):
+        if rv.name == name:
+            return dh2
+    raise AssertionError(f"{name!r} not an allowed readdir result")
+
+
+class TestFreshHandle:
+    def test_open_snapshots_entries(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        assert dh.must == {"a", "b", "c"}
+        assert dh.may == frozenset()
+        assert dh.returned == frozenset()
+
+    def test_all_entries_allowed_first(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        assert allowed_names(fs, dh) == {"a", "b", "c"}
+
+    def test_end_not_allowed_while_must_pending(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        assert None not in allowed_names(fs, dh)
+
+    def test_empty_dir_end_immediately(self):
+        fs, d = build_dir(())
+        dh = dh_open(fs, d)
+        assert allowed_names(fs, dh) == {None}
+
+
+class TestExactlyOnce:
+    def test_unmodified_entries_each_returned_once(self):
+        # The core POSIX guarantee: any entry unmodified for the
+        # handle's lifetime is returned exactly once.
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        dh = read_entry(fs, dh, "a")
+        assert allowed_names(fs, dh) == {"b", "c"}
+        dh = read_entry(fs, dh, "b")
+        dh = read_entry(fs, dh, "c")
+        assert allowed_names(fs, dh) == {None}
+
+    def test_returned_entry_not_repeated(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        dh = read_entry(fs, dh, "b")
+        assert "b" not in allowed_names(fs, dh)
+
+
+class TestMutationDuringIteration:
+    def test_deleted_unreturned_entry_may_appear(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        fs = fs.remove_entry(d, "b")
+        names = allowed_names(fs, dh)
+        # "b" may still be returned, but "a"/"c" must be; end is not
+        # allowed until they are.
+        assert "b" in names
+        assert {"a", "c"} <= names
+        assert None not in names
+
+    def test_deleted_entry_is_optional(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        fs = fs.remove_entry(d, "b")
+        dh = read_entry(fs, dh, "a")
+        dh = read_entry(fs, dh, "c")
+        names = allowed_names(fs, dh)
+        # All musts drained: end allowed even though "b" never appeared.
+        assert None in names and "b" in names
+
+    def test_deleted_returned_entry_not_repeated(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        dh = read_entry(fs, dh, "b")
+        fs = fs.remove_entry(d, "b")
+        assert "b" not in allowed_names(fs, dh)
+
+    def test_added_entry_may_appear(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        fs, _ = fs.create_file(d, "late", FMETA)
+        names = allowed_names(fs, dh)
+        assert "late" in names
+
+    def test_added_entry_not_required(self):
+        fs, d = build_dir(("a",))
+        dh = dh_open(fs, d)
+        dh = read_entry(fs, dh, "a")
+        fs, _ = fs.create_file(d, "late", FMETA)
+        names = allowed_names(fs, dh)
+        assert None in names and "late" in names
+
+    def test_delete_then_readd_may_reappear(self):
+        # The problematic case the paper calls out explicitly: an entry
+        # deleted and re-added may (but need not) be returned again.
+        # The OS layer refreshes handles after *every* mutation (the
+        # paper: "we are forced to track all changes to a directory"),
+        # so the unit-level contract is one dh_update per change.
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        dh = read_entry(fs, dh, "b")
+        fs = fs.remove_entry(d, "b")
+        dh = dh_update(fs, dh)
+        fs, _ = fs.create_file(d, "b", FMETA)
+        dh = dh_update(fs, dh)
+        names = allowed_names(fs, dh)
+        assert "b" in names  # re-added after being returned: may repeat
+        # But it is optional: end is reachable once musts drain.
+        dh2 = read_entry(fs, dh, "a")
+        dh2 = read_entry(fs, dh2, "c")
+        assert None in allowed_names(fs, dh2)
+
+
+class TestRewind:
+    def test_rewind_resets(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        dh = read_entry(fs, dh, "a")
+        dh = dh_rewind(fs, dh)
+        assert allowed_names(fs, dh) == {"a", "b", "c"}
+
+    def test_rewind_sees_current_contents(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        fs = fs.remove_entry(d, "c")
+        dh = dh_rewind(fs, dh)
+        assert dh.must == {"a", "b"}
+
+
+class TestUpdateIncremental:
+    def test_update_is_idempotent_without_changes(self):
+        fs, d = build_dir()
+        dh = dh_open(fs, d)
+        assert dh_update(fs, dh) == dh_update(fs, dh_update(fs, dh))
+
+    def test_handle_on_removed_dir_reaches_end(self):
+        fs = empty_fs()
+        fs, d = fs.create_dir(fs.root, "ed", META)
+        dh = dh_open(fs, d)
+        fs = fs.remove_entry(fs.root, "ed")
+        assert allowed_names(fs, dh) == {None}

@@ -1,0 +1,237 @@
+"""Specification tests for link and rename (the paper's Fig. 6 example)."""
+
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+from repro.core.platform import LINUX_SPEC, OSX_SPEC, POSIX_SPEC
+from repro.core.values import Ok
+from repro.fsops.link import fsop_link
+from repro.fsops.rename import fsop_rename
+from repro.pathres.resname import Follow
+
+from helpers import build_fs, env_for, only_errors, rn, the_success
+
+
+class TestLink:
+    def test_creates_hard_link(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_link(env, fs, rn(env, fs, "d/f"),
+                                    rn(env, fs, "d/g")))
+        assert out.state.lookup(refs["d"], "g") == refs["f"]
+        assert out.state.file(refs["f"]).nlink == 2
+
+    def test_src_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d/nx"),
+                                     rn(env, fs, "d/g")))
+        assert errs == {Errno.ENOENT}
+
+    def test_src_dir_eperm(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d"),
+                                     rn(env, fs, "g")))
+        assert errs == {Errno.EPERM}
+
+    def test_dst_exists_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d/f"),
+                                     rn(env, fs, "top")))
+        assert errs == {Errno.EEXIST}
+
+    def test_linux_trailing_slash_dst_allows_eexist(self):
+        # link /dir/ /f.txt/ -> EEXIST on Linux, where one might expect
+        # ENOTDIR (paper section 7.3.2).
+        fs, _ = build_fs()
+        env = env_for(LINUX_SPEC)
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d/f"),
+                                     rn(env, fs, "top/")))
+        assert errs == {Errno.EEXIST, Errno.ENOTDIR}
+
+    def test_osx_trailing_slash_dst_enotdir_only(self):
+        fs, _ = build_fs()
+        env = env_for(OSX_SPEC)
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d/f"),
+                                     rn(env, fs, "top/")))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_link_symlink_nofollow_links_the_symlink(self):
+        # The Linux resolution: link the symlink object itself.
+        fs, refs = build_fs()
+        env = env_for(LINUX_SPEC)
+        out = the_success(fsop_link(
+            env, fs, rn(env, fs, "sf", Follow.NOFOLLOW),
+            rn(env, fs, "sf2")))
+        new_ref = out.state.lookup(out.state.root, "sf2")
+        assert new_ref == refs["sf"]
+        assert out.state.file(new_ref).kind is FileKind.SYMLINK
+
+    def test_link_symlink_follow_links_the_target(self):
+        # The OS X resolution: follow the symlink.
+        fs, refs = build_fs()
+        env = env_for(OSX_SPEC)
+        out = the_success(fsop_link(
+            env, fs, rn(env, fs, "sf", Follow.FOLLOW),
+            rn(env, fs, "f2")))
+        assert out.state.lookup(out.state.root, "f2") == refs["f"]
+
+    def test_dst_trailing_slash_none(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d/f"),
+                                     rn(env, fs, "newname/")))
+        assert errs == {Errno.ENOENT, Errno.ENOTDIR}
+
+    def test_permission_denied_on_dst_parent(self):
+        fs, _ = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_link(env, fs, rn(env, fs, "d/f"),
+                                     rn(env, fs, "d/g")))
+        assert Errno.EACCES in errs
+
+
+class TestRenameSameObject:
+    def test_same_path_noop(self):
+        fs, _ = build_fs()
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "d/f"),
+                                      rn(env, fs, "d/f")))
+        assert out.state == fs
+
+    def test_two_hard_links_noop(self):
+        # POSIX: renaming one hard link onto another to the same file
+        # does nothing and succeeds.
+        fs, refs = build_fs()
+        fs = fs.add_link(fs.root, "hl", refs["f"])
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "d/f"),
+                                      rn(env, fs, "hl")))
+        assert out.state == fs
+        assert out.state.lookup(fs.root, "hl") == refs["f"]
+
+
+class TestRenameErrors:
+    def test_src_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "nx"),
+                                       rn(env, fs, "nx2")))
+        assert errs == {Errno.ENOENT}
+
+    def test_file_onto_dir_eisdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "top"),
+                                       rn(env, fs, "d/ed")))
+        assert Errno.EISDIR in errs
+
+    def test_dir_onto_file_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "d/ed"),
+                                       rn(env, fs, "top")))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_emptydir_onto_nonemptydir_fig4(self):
+        # The checked-trace example of paper Fig. 4.
+        fs, _ = build_fs()
+        env = env_for(POSIX_SPEC)
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "d/ed"),
+                                       rn(env, fs, "d/ne")))
+        assert errs == {Errno.EEXIST, Errno.ENOTEMPTY}
+
+    def test_emptydir_onto_nonemptydir_linux(self):
+        fs, _ = build_fs()
+        env = env_for(LINUX_SPEC)
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "d/ed"),
+                                       rn(env, fs, "d/ne")))
+        assert errs == {Errno.ENOTEMPTY}
+
+    def test_rename_root_platform_difference(self):
+        fs, _ = build_fs()
+        env = env_for(OSX_SPEC)
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "/"),
+                                       rn(env, fs, "elsewhere")))
+        assert errs == {Errno.EISDIR}  # OS X's deviation (§7.3.2)
+        env = env_for(LINUX_SPEC)
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "/"),
+                                       rn(env, fs, "elsewhere")))
+        assert errs == {Errno.EBUSY, Errno.EINVAL}
+
+    def test_dir_into_own_subdir_einval(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "d"),
+                                       rn(env, fs, "d/ed/sub")))
+        assert errs == {Errno.EINVAL}
+
+    def test_dir_onto_its_own_child_einval(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "d"),
+                                       rn(env, fs, "d/ne")))
+        assert Errno.EINVAL in errs
+
+    def test_src_trailing_slash_file_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "top/"),
+                                       rn(env, fs, "t2")))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_dot_src_rejected(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rename(env, fs, rn(env, fs, "."),
+                                       rn(env, fs, "dst")))
+        assert errs & {Errno.EINVAL, Errno.EBUSY}
+
+    def test_errors_leave_state_unchanged(self):
+        fs, _ = build_fs()
+        env = env_for(POSIX_SPEC)
+        outcomes = fsop_rename(env, fs, rn(env, fs, "d/ed"),
+                               rn(env, fs, "d/ne"))
+        for out in outcomes:
+            assert out.state == fs
+
+
+class TestRenameSuccess:
+    def test_simple_rename(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "top"),
+                                      rn(env, fs, "moved")))
+        assert out.state.lookup(out.state.root, "moved") == refs["top"]
+        assert out.state.lookup(out.state.root, "top") is None
+
+    def test_rename_replaces_file(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "top"),
+                                      rn(env, fs, "d/f")))
+        assert out.state.lookup(refs["d"], "f") == refs["top"]
+        assert out.state.file(refs["f"]).nlink == 0
+
+    def test_rename_dir_onto_empty_dir(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "d/ne"),
+                                      rn(env, fs, "d/ed")))
+        assert out.state.lookup(refs["d"], "ed") == refs["ne"]
+
+    def test_rename_dir_into_subtree_of_other_dir(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "d/ed"),
+                                      rn(env, fs, "moved")))
+        assert out.state.dir(refs["ed"]).parent == out.state.root
+
+    def test_rename_symlink_moves_the_symlink(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_rename(env, fs, rn(env, fs, "sf"),
+                                      rn(env, fs, "sf_moved")))
+        moved = out.state.lookup(out.state.root, "sf_moved")
+        assert moved == refs["sf"]

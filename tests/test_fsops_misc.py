@@ -1,0 +1,266 @@
+"""Specification tests for symlink/readlink, stat/lstat, truncate,
+chmod/chown."""
+
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+from repro.core.platform import LINUX_SPEC, OSX_SPEC, POSIX_SPEC
+from repro.core.values import Ok, RvBytes, RvStat
+from repro.fsops.attr import fsop_chmod, fsop_chown
+from repro.fsops.stat_ops import fsop_lstat, fsop_stat
+from repro.fsops.symlink_ops import fsop_readlink, fsop_symlink
+from repro.fsops.truncate import fsop_truncate
+from repro.pathres.resname import Follow
+
+from helpers import build_fs, env_for, only_errors, rn, the_success
+
+
+class TestSymlink:
+    def test_creates_symlink(self):
+        fs, _ = build_fs()
+        env = env_for(LINUX_SPEC)
+        out = the_success(fsop_symlink(env, fs, "some/target",
+                                       rn(env, fs, "newlink")))
+        ref = out.state.lookup(out.state.root, "newlink")
+        obj = out.state.file(ref)
+        assert obj.kind is FileKind.SYMLINK
+        assert obj.content == b"some/target"
+
+    def test_linux_symlink_mode_ignores_umask(self):
+        fs, _ = build_fs()
+        env = env_for(LINUX_SPEC, umask=0o077)
+        out = the_success(fsop_symlink(env, fs, "t",
+                                       rn(env, fs, "newlink")))
+        ref = out.state.lookup(out.state.root, "newlink")
+        assert out.state.file(ref).meta.mode == 0o777
+
+    def test_osx_symlink_mode_applies_umask(self):
+        # "default permissions for symlinks" is one of the §7.2
+        # implementation-defined variations.
+        fs, _ = build_fs()
+        env = env_for(OSX_SPEC, umask=0o077)
+        out = the_success(fsop_symlink(env, fs, "t",
+                                       rn(env, fs, "newlink")))
+        ref = out.state.lookup(out.state.root, "newlink")
+        assert out.state.file(ref).meta.mode == 0o700
+
+    def test_existing_target_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_symlink(env, fs, "t",
+                                        rn(env, fs, "top")))
+        assert errs == {Errno.EEXIST}
+
+    def test_existing_symlink_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_symlink(env, fs, "t",
+                                        rn(env, fs, "dang")))
+        assert errs == {Errno.EEXIST}
+
+    def test_missing_parent_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_symlink(env, fs, "t",
+                                        rn(env, fs, "nx/l")))
+        assert errs == {Errno.ENOENT}
+
+
+class TestReadlink:
+    def test_reads_target(self):
+        fs, _ = build_fs()
+        env = env_for()
+        out = the_success(fsop_readlink(env, fs,
+                                        rn(env, fs, "sf",
+                                           Follow.NOFOLLOW)))
+        assert out.ret == Ok(RvBytes(b"d/f"))
+
+    def test_regular_file_einval(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_readlink(env, fs, rn(env, fs, "top",
+                                                     Follow.NOFOLLOW)))
+        assert errs == {Errno.EINVAL}
+
+    def test_directory_einval(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_readlink(env, fs, rn(env, fs, "d",
+                                                     Follow.NOFOLLOW)))
+        assert errs == {Errno.EINVAL}
+
+    def test_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_readlink(env, fs, rn(env, fs, "nx",
+                                                     Follow.NOFOLLOW)))
+        assert errs == {Errno.ENOENT}
+
+
+class TestStat:
+    def test_stat_file(self):
+        fs, _ = build_fs()
+        env = env_for()
+        out = the_success(fsop_stat(env, fs, rn(env, fs, "d/f",
+                                                Follow.FOLLOW)))
+        stat = out.ret.value.stat
+        assert stat.kind is FileKind.REGULAR
+        assert stat.size == len(b"content")
+        assert stat.nlink == 1
+
+    def test_stat_dir_nlink(self):
+        fs, _ = build_fs()
+        env = env_for()
+        out = the_success(fsop_stat(env, fs, rn(env, fs, "d",
+                                                Follow.FOLLOW)))
+        stat = out.ret.value.stat
+        assert stat.kind is FileKind.DIRECTORY
+        assert stat.nlink == 4  # d contains two subdirectories + 2
+
+    def test_stat_follows_symlink(self):
+        fs, _ = build_fs()
+        env = env_for()
+        out = the_success(fsop_stat(env, fs, rn(env, fs, "sf",
+                                                Follow.FOLLOW)))
+        assert out.ret.value.stat.kind is FileKind.REGULAR
+
+    def test_lstat_does_not_follow(self):
+        fs, _ = build_fs()
+        env = env_for()
+        out = the_success(fsop_lstat(env, fs, rn(env, fs, "sf",
+                                                 Follow.NOFOLLOW)))
+        assert out.ret.value.stat.kind is FileKind.SYMLINK
+
+    def test_stat_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_stat(env, fs, rn(env, fs, "nx",
+                                                 Follow.FOLLOW)))
+        assert errs == {Errno.ENOENT}
+
+    def test_stat_file_trailing_slash_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_stat(env, fs, rn(env, fs, "top/",
+                                                 Follow.FOLLOW)))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_stat_never_changes_state(self):
+        fs, _ = build_fs()
+        env = env_for()
+        for out in fsop_stat(env, fs, rn(env, fs, "d/f",
+                                         Follow.FOLLOW)):
+            assert out.state == fs
+
+
+class TestTruncate:
+    def test_shrinks(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_truncate(env, fs, rn(env, fs, "d/f",
+                                                    Follow.FOLLOW), 3))
+        assert out.state.file(refs["f"]).content == b"con"
+
+    def test_extends_with_zeros(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_truncate(env, fs, rn(env, fs, "d/f",
+                                                    Follow.FOLLOW), 10))
+        assert out.state.file(refs["f"]).content == \
+            b"content\x00\x00\x00"
+
+    def test_negative_einval(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_truncate(env, fs, rn(env, fs, "d/f",
+                                                     Follow.FOLLOW), -1))
+        assert Errno.EINVAL in errs
+
+    def test_directory_eisdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_truncate(env, fs, rn(env, fs, "d",
+                                                     Follow.FOLLOW), 0))
+        assert errs == {Errno.EISDIR}
+
+    def test_no_write_permission_eacces(self):
+        fs, _ = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_truncate(env, fs, rn(env, fs, "d/f",
+                                                     Follow.FOLLOW), 0))
+        assert errs == {Errno.EACCES}
+
+
+class TestChmodChown:
+    def test_chmod_file(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_chmod(env, fs, rn(env, fs, "d/f",
+                                                 Follow.FOLLOW), 0o600))
+        assert out.state.file(refs["f"]).meta.mode == 0o600
+
+    def test_chmod_dir(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_chmod(env, fs, rn(env, fs, "d",
+                                                 Follow.FOLLOW), 0o700))
+        assert out.state.dir(refs["d"]).meta.mode == 0o700
+
+    def test_chmod_not_owner_eperm(self):
+        fs, _ = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_chmod(env, fs, rn(env, fs, "top",
+                                                  Follow.FOLLOW),
+                                      0o777))
+        assert errs == {Errno.EPERM}
+
+    def test_chmod_owner_allowed(self):
+        fs, refs = build_fs()
+        fs = fs.set_file_meta(refs["top"],
+                              fs.file(refs["top"]).meta.with_owner(
+                                  1000, 1000))
+        env = env_for(uid=1000, gid=1000)
+        the_success(fsop_chmod(env, fs, rn(env, fs, "top",
+                                           Follow.FOLLOW), 0o600))
+
+    def test_chown_root_sets_anything(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_chown(env, fs, rn(env, fs, "top",
+                                                 Follow.FOLLOW),
+                                     42, 43))
+        meta = out.state.file(refs["top"]).meta
+        assert (meta.uid, meta.gid) == (42, 43)
+
+    def test_chown_nonroot_to_other_uid_eperm(self):
+        fs, refs = build_fs()
+        fs = fs.set_file_meta(refs["top"],
+                              fs.file(refs["top"]).meta.with_owner(
+                                  1000, 1000))
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_chown(env, fs, rn(env, fs, "top",
+                                                  Follow.FOLLOW),
+                                      42, 1000))
+        assert errs == {Errno.EPERM}
+
+    def test_chown_owner_changes_group_within_groups(self):
+        fs, refs = build_fs()
+        fs = fs.set_file_meta(refs["top"],
+                              fs.file(refs["top"]).meta.with_owner(
+                                  1000, 1000))
+        import dataclasses
+        from repro.pathres.resolve import PermEnv
+        from repro.fsops.common import FsEnv
+        env = FsEnv(spec=POSIX_SPEC,
+                    perm=PermEnv(uid=1000, gid=1000,
+                                 groups=frozenset({50})), umask=0o022)
+        out = the_success(fsop_chown(env, fs, rn(env, fs, "top",
+                                                 Follow.FOLLOW),
+                                     1000, 50))
+        assert out.state.file(refs["top"]).meta.gid == 50
+
+    def test_chown_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_chown(env, fs, rn(env, fs, "nx",
+                                                  Follow.FOLLOW), 0, 0))
+        assert errs == {Errno.ENOENT}

@@ -1,0 +1,200 @@
+"""Specification tests for mkdir / rmdir / unlink."""
+
+from repro.core.errors import Errno
+from repro.core.flags import FileKind
+from repro.core.platform import LINUX_SPEC, OSX_SPEC, POSIX_SPEC
+from repro.fsops.mkdir import fsop_mkdir
+from repro.fsops.rmdir import fsop_rmdir
+from repro.fsops.unlink import fsop_unlink
+from repro.pathres.resname import Follow
+
+from helpers import (build_fs, env_for, only_errors, rn, the_success)
+
+
+class TestMkdir:
+    def test_creates_directory(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_mkdir(env, fs, rn(env, fs, "d/newdir"),
+                                     0o777))
+        fs2 = out.state
+        assert fs2.lookup(refs["d"], "newdir") is not None
+
+    def test_mode_respects_umask(self):
+        fs, _ = build_fs()
+        env = env_for(umask=0o027)
+        out = the_success(fsop_mkdir(env, fs, rn(env, fs, "newdir"),
+                                     0o777))
+        dref = out.state.lookup(out.state.root, "newdir")
+        assert out.state.dir(dref).meta.mode == 0o750
+
+    def test_exists_dir_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_mkdir(env, fs, rn(env, fs, "d"), 0o777))
+        assert errs == {Errno.EEXIST}
+
+    def test_exists_file_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_mkdir(env, fs, rn(env, fs, "top"),
+                                      0o777))
+        assert errs == {Errno.EEXIST}
+
+    def test_file_trailing_slash_allows_both(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_mkdir(env, fs, rn(env, fs, "top/"),
+                                      0o777))
+        assert errs == {Errno.EEXIST, Errno.ENOTDIR}
+
+    def test_symlink_at_target_eexist(self):
+        # mkdir does not follow the final symlink, dangling or not.
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_mkdir(env, fs, rn(env, fs, "dang"),
+                                      0o777))
+        assert errs == {Errno.EEXIST}
+
+    def test_missing_parent_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_mkdir(env, fs, rn(env, fs, "nx/sub"),
+                                      0o777))
+        assert errs == {Errno.ENOENT}
+
+    def test_trailing_slash_on_new_name_ok(self):
+        fs, _ = build_fs()
+        env = env_for()
+        the_success(fsop_mkdir(env, fs, rn(env, fs, "newdir/"), 0o777))
+
+    def test_parent_not_writable_eacces(self):
+        fs, refs = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_mkdir(env, fs, rn(env, fs, "d/newdir"),
+                                      0o777))
+        assert errs == {Errno.EACCES}
+
+    def test_error_leaves_state_unchanged(self):
+        fs, _ = build_fs()
+        env = env_for()
+        for out in fsop_mkdir(env, fs, rn(env, fs, "d"), 0o777):
+            assert out.state == fs
+
+
+class TestRmdir:
+    def test_removes_empty_dir(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_rmdir(env, fs, rn(env, fs, "d/ed")))
+        assert out.state.lookup(refs["d"], "ed") is None
+        # The directory object is disconnected, not destroyed.
+        assert out.state.dir(refs["ed"]).parent is None
+
+    def test_nonempty_enotempty(self):
+        fs, _ = build_fs()
+        env = env_for(LINUX_SPEC)
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "d/ne")))
+        assert errs == {Errno.ENOTEMPTY}
+
+    def test_nonempty_posix_also_allows_eexist(self):
+        fs, _ = build_fs()
+        env = env_for(POSIX_SPEC)
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "d/ne")))
+        assert errs == {Errno.ENOTEMPTY, Errno.EEXIST}
+
+    def test_file_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "top")))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "nx")))
+        assert errs == {Errno.ENOENT}
+
+    def test_root_refused(self):
+        fs, _ = build_fs()
+        env = env_for(LINUX_SPEC)
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "/")))
+        assert errs == LINUX_SPEC.rmdir_root_errors
+
+    def test_dot_einval(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, ".")))
+        assert Errno.EINVAL in errs
+
+    def test_symlink_to_dir_enotdir(self):
+        # rmdir does not follow the final symlink.
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "sd")))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_trailing_slash_on_dir_ok(self):
+        fs, _ = build_fs()
+        env = env_for()
+        the_success(fsop_rmdir(env, fs, rn(env, fs, "d/ed/")))
+
+    def test_permission_denied(self):
+        fs, _ = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_rmdir(env, fs, rn(env, fs, "d/ed")))
+        assert errs == {Errno.EACCES}
+
+
+class TestUnlink:
+    def test_removes_file(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_unlink(env, fs, rn(env, fs, "d/f")))
+        assert out.state.lookup(refs["d"], "f") is None
+        assert out.state.file(refs["f"]).nlink == 0
+
+    def test_directory_platform_difference(self):
+        # The headline §7.3.2 error-code difference: Linux EISDIR (LSB)
+        # vs OS X EPERM (POSIX); the POSIX envelope allows both.
+        fs, _ = build_fs()
+        for spec, expected in ((LINUX_SPEC, {Errno.EISDIR}),
+                               (OSX_SPEC, {Errno.EPERM}),
+                               (POSIX_SPEC, {Errno.EPERM,
+                                             Errno.EISDIR})):
+            env = env_for(spec)
+            errs = only_errors(fsop_unlink(env, fs, rn(env, fs, "d")))
+            assert errs == expected, spec.name
+
+    def test_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_unlink(env, fs, rn(env, fs, "d/nx")))
+        assert errs == {Errno.ENOENT}
+
+    def test_removes_symlink_itself(self):
+        fs, refs = build_fs()
+        env = env_for()
+        out = the_success(fsop_unlink(env, fs, rn(env, fs, "sf")))
+        # The symlink is gone; its target is untouched.
+        assert out.state.lookup(out.state.root, "sf") is None
+        assert out.state.lookup(refs["d"], "f") == refs["f"]
+
+    def test_trailing_slash_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        errs = only_errors(fsop_unlink(env, fs, rn(env, fs, "top/")))
+        assert errs == {Errno.ENOTDIR}
+
+    def test_hard_link_decrements(self):
+        fs, refs = build_fs()
+        fs = fs.add_link(fs.root, "extra", refs["f"])
+        env = env_for()
+        out = the_success(fsop_unlink(env, fs, rn(env, fs, "extra")))
+        assert out.state.file(refs["f"]).nlink == 1
+
+    def test_permission_denied(self):
+        fs, _ = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        errs = only_errors(fsop_unlink(env, fs, rn(env, fs, "d/f")))
+        assert errs == {Errno.EACCES}

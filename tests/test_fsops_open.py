@@ -1,0 +1,229 @@
+"""Specification tests for open — the call with the largest test
+population in the paper."""
+
+from repro.core.errors import Errno
+from repro.core.flags import FileKind, OpenFlag
+from repro.core.platform import FREEBSD_SPEC, LINUX_SPEC, POSIX_SPEC
+from repro.fsops.open_spec import OpenResult, fsop_open
+from repro.pathres.resname import Follow
+
+from helpers import build_fs, env_for, rn
+
+O = OpenFlag
+
+
+def results(env, fs, path, flags, mode=0o644, follow=None):
+    if follow is None:
+        if (flags & O.O_CREAT and flags & O.O_EXCL) or \
+                flags & O.O_NOFOLLOW:
+            follow = Follow.NOFOLLOW
+        else:
+            follow = Follow.FOLLOW
+    return fsop_open(env, fs, rn(env, fs, path, follow), flags, mode)
+
+
+def errset(rs):
+    return {r.err for r in rs if r.err is not None}
+
+
+def succs(rs):
+    return [r for r in rs if r.err is None and r.special is None]
+
+
+class TestOpenExisting:
+    def test_open_file_rdonly(self):
+        fs, refs = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "d/f", O.O_RDONLY))
+        assert r.target == refs["f"]
+        assert not r.created
+
+    def test_open_missing_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "d/nx", O.O_RDONLY)) == \
+            {Errno.ENOENT}
+
+    def test_open_dir_rdonly_allowed(self):
+        fs, refs = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "d", O.O_RDONLY))
+        assert r.target == refs["d"]
+
+    def test_open_dir_write_eisdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "d", O.O_WRONLY)) == \
+            {Errno.EISDIR}
+        assert errset(results(env, fs, "d", O.O_RDWR)) == {Errno.EISDIR}
+
+    def test_open_dir_creat_eisdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "d",
+                              O.O_RDONLY | O.O_CREAT)) == {Errno.EISDIR}
+
+    def test_trailing_slash_file_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "top/", O.O_RDONLY)) == \
+            {Errno.ENOTDIR}
+
+    def test_o_directory_on_file_enotdir(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "top",
+                              O.O_RDONLY | O.O_DIRECTORY)) == \
+            {Errno.ENOTDIR}
+
+    def test_o_directory_on_dir_ok(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert succs(results(env, fs, "d", O.O_RDONLY | O.O_DIRECTORY))
+
+
+class TestOpenCreate:
+    def test_creates_file(self):
+        fs, refs = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "d/new",
+                             O.O_CREAT | O.O_WRONLY))
+        assert r.created
+        assert r.fs.lookup(refs["d"], "new") == r.target
+
+    def test_create_mode_umask(self):
+        fs, _ = build_fs()
+        env = env_for(umask=0o027)
+        (r,) = succs(results(env, fs, "new", O.O_CREAT | O.O_WRONLY,
+                             mode=0o666))
+        assert r.fs.file(r.target).meta.mode == 0o640
+
+    def test_creat_on_existing_opens_it(self):
+        fs, refs = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "d/f", O.O_CREAT | O.O_WRONLY))
+        assert r.target == refs["f"] and not r.created
+
+    def test_excl_on_existing_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "d/f",
+                              O.O_CREAT | O.O_EXCL | O.O_WRONLY)) == \
+            {Errno.EEXIST}
+
+    def test_excl_on_symlink_eexist(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "sf",
+                              O.O_CREAT | O.O_EXCL | O.O_WRONLY)) == \
+            {Errno.EEXIST}
+
+    def test_excl_on_dangling_symlink_eexist(self):
+        # Resolution follows nothing under O_CREAT|O_EXCL, but even via
+        # a FOLLOW caller the dangling marker forces EEXIST.
+        fs, _ = build_fs()
+        env = env_for()
+        rs = fsop_open(env, fs, rn(env, fs, "dang", Follow.FOLLOW),
+                       O.O_CREAT | O.O_EXCL | O.O_WRONLY, 0o644)
+        assert errset(rs) == {Errno.EEXIST}
+
+    def test_creat_through_dangling_symlink_creates_target(self):
+        # Without O_EXCL, open O_CREAT on a dangling symlink creates
+        # the *target*.
+        fs, _ = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "dang", O.O_CREAT | O.O_WRONLY))
+        assert r.created
+        assert r.fs.lookup(r.fs.root, "nowhere") == r.target
+
+    def test_excl_dir_on_symlink_platform_difference(self):
+        # POSIX: EEXIST.  FreeBSD: ENOTDIR (§7.3.2).
+        fs, refs = build_fs()
+        fs2, _ = fs.create_file(
+            fs.root, "s_ed", fs.file(refs["sf"]).meta,
+            kind=FileKind.SYMLINK, content=b"d/ed")
+        flags = O.O_CREAT | O.O_EXCL | O.O_DIRECTORY | O.O_RDONLY
+        env = env_for(POSIX_SPEC)
+        assert errset(results(env, fs2, "s_ed", flags)) == \
+            {Errno.EEXIST}
+        env = env_for(FREEBSD_SPEC)
+        assert errset(results(env, fs2, "s_ed", flags)) == \
+            {Errno.ENOTDIR}
+
+    def test_creat_missing_dir_enoent(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "nx/new",
+                              O.O_CREAT | O.O_WRONLY)) == {Errno.ENOENT}
+
+    def test_creat_o_directory_is_unspecified(self):
+        fs, _ = build_fs()
+        env = env_for()
+        rs = results(env, fs, "new",
+                     O.O_CREAT | O.O_RDONLY | O.O_DIRECTORY)
+        assert any(r.special == "unspecified" for r in rs)
+
+    def test_creat_permission_denied(self):
+        fs, _ = build_fs()
+        env = env_for(uid=1000, gid=1000)
+        assert errset(results(env, fs, "d/new",
+                              O.O_CREAT | O.O_WRONLY)) == {Errno.EACCES}
+
+
+class TestOpenSymlinks:
+    def test_nofollow_on_symlink_eloop(self):
+        fs, _ = build_fs()
+        env = env_for()
+        assert errset(results(env, fs, "sf",
+                              O.O_RDONLY | O.O_NOFOLLOW)) == \
+            {Errno.ELOOP}
+
+    def test_follow_opens_target(self):
+        fs, refs = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "sf", O.O_RDONLY))
+        assert r.target == refs["f"]
+
+
+class TestOpenTrunc:
+    def test_wronly_trunc_truncates(self):
+        fs, refs = build_fs()
+        env = env_for()
+        (r,) = succs(results(env, fs, "d/f", O.O_WRONLY | O.O_TRUNC))
+        assert r.fs.file(refs["f"]).content == b""
+
+    def test_rdonly_trunc_loose(self):
+        # POSIX leaves O_RDONLY|O_TRUNC undefined; the model allows
+        # both the truncated and the untouched outcome.
+        fs, refs = build_fs()
+        env = env_for()
+        rs = succs(results(env, fs, "d/f", O.O_RDONLY | O.O_TRUNC))
+        contents = {r.fs.file(refs["f"]).content for r in rs}
+        assert contents == {b"", b"content"}
+
+
+class TestOpenPermissions:
+    def test_read_denied(self):
+        fs, refs = build_fs()
+        fs = fs.set_file_meta(refs["f"],
+                              fs.file(refs["f"]).meta.with_mode(0o200))
+        env = env_for(uid=1000, gid=1000)
+        assert errset(results(env, fs, "d/f", O.O_RDONLY)) == \
+            {Errno.EACCES}
+
+    def test_write_denied(self):
+        fs, refs = build_fs()
+        fs = fs.set_file_meta(refs["f"],
+                              fs.file(refs["f"]).meta.with_mode(0o444))
+        env = env_for(uid=1000, gid=1000)
+        assert errset(results(env, fs, "d/f", O.O_WRONLY)) == \
+            {Errno.EACCES}
+
+    def test_owner_bits_apply(self):
+        fs, refs = build_fs()
+        fs = fs.set_file_meta(
+            refs["f"],
+            fs.file(refs["f"]).meta.with_owner(1000, 1000)
+            .with_mode(0o600))
+        env = env_for(uid=1000, gid=1000)
+        assert succs(results(env, fs, "d/f", O.O_RDWR))

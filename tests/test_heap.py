@@ -1,0 +1,249 @@
+"""Tests for the state module (the dir heap)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.flags import FileKind
+from repro.state.heap import DirRef, FileRef, empty_fs
+from repro.state.meta import Meta
+
+META = Meta(mode=0o755, uid=0, gid=0)
+FMETA = Meta(mode=0o644, uid=0, gid=0)
+
+
+class TestEmptyFs:
+    def test_root_exists_and_is_empty(self):
+        fs = empty_fs()
+        assert fs.is_empty_dir(fs.root)
+        assert fs.dir(fs.root).parent is None
+
+    def test_root_nlink_is_two(self):
+        fs = empty_fs()
+        assert fs.dir_nlink(fs.root) == 2
+
+    def test_custom_root_meta(self):
+        fs = empty_fs(root_mode=0o700, root_uid=5, root_gid=6)
+        meta = fs.dir(fs.root).meta
+        assert (meta.mode, meta.uid, meta.gid) == (0o700, 5, 6)
+
+
+class TestCreate:
+    def test_create_dir(self):
+        fs = empty_fs()
+        fs, dref = fs.create_dir(fs.root, "a", META)
+        assert fs.lookup(fs.root, "a") == dref
+        assert fs.dir(dref).parent == fs.root
+        assert fs.is_empty_dir(dref)
+
+    def test_create_file(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA, content=b"xyz")
+        assert fs.lookup(fs.root, "f") == fref
+        assert fs.file(fref).content == b"xyz"
+        assert fs.file(fref).nlink == 1
+
+    def test_create_symlink(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "s", FMETA,
+                                  kind=FileKind.SYMLINK, content=b"t")
+        assert fs.file(fref).kind is FileKind.SYMLINK
+
+    def test_dir_nlink_counts_subdirs(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, _ = fs.create_dir(a, "b", META)
+        fs, _ = fs.create_dir(a, "c", META)
+        fs, _ = fs.create_file(a, "f", FMETA)  # files don't count
+        assert fs.dir_nlink(a) == 4
+        assert fs.dir_nlink(fs.root) == 3
+
+    def test_refs_are_fresh(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, f = fs.create_file(fs.root, "f", FMETA)
+        assert a.id != f.id
+
+    def test_immutability(self):
+        fs0 = empty_fs()
+        fs1, _ = fs0.create_dir(fs0.root, "a", META)
+        assert fs0.is_empty_dir(fs0.root)
+        assert not fs1.is_empty_dir(fs1.root)
+
+
+class TestLinks:
+    def test_add_link_increments_nlink(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA)
+        fs = fs.add_link(fs.root, "g", fref)
+        assert fs.file(fref).nlink == 2
+        assert fs.lookup(fs.root, "g") == fref
+
+    def test_remove_entry_decrements_nlink(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA)
+        fs = fs.add_link(fs.root, "g", fref)
+        fs = fs.remove_entry(fs.root, "f")
+        assert fs.file(fref).nlink == 1
+        assert fs.lookup(fs.root, "f") is None
+        assert fs.lookup(fs.root, "g") == fref
+
+    def test_removed_file_object_retained(self):
+        # Disconnected but possibly still open (paper: disconnected
+        # files are modelled).
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA, content=b"data")
+        fs = fs.remove_entry(fs.root, "f")
+        assert fs.file(fref).nlink == 0
+        assert fs.file(fref).content == b"data"
+
+
+class TestDisconnection:
+    def test_removed_dir_becomes_disconnected(self):
+        fs = empty_fs()
+        fs, dref = fs.create_dir(fs.root, "a", META)
+        fs = fs.remove_entry(fs.root, "a")
+        assert fs.dir(dref).parent is None
+        assert not fs.is_connected_dir(dref)
+
+    def test_connected_dir(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, b = fs.create_dir(a, "b", META)
+        assert fs.is_connected_dir(b)
+        assert fs.is_connected_dir(fs.root)
+
+    def test_is_ancestor(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, b = fs.create_dir(a, "b", META)
+        assert fs.is_ancestor(fs.root, b)
+        assert fs.is_ancestor(a, b)
+        assert not fs.is_ancestor(b, a)
+        assert not fs.is_ancestor(b, b)
+
+
+class TestMove:
+    def test_move_file(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, fref = fs.create_file(fs.root, "f", FMETA)
+        fs = fs.move_entry(fs.root, "f", a, "g")
+        assert fs.lookup(fs.root, "f") is None
+        assert fs.lookup(a, "g") == fref
+        assert fs.file(fref).nlink == 1
+
+    def test_move_dir_updates_parent(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, b = fs.create_dir(fs.root, "b", META)
+        fs = fs.move_entry(fs.root, "b", a, "b2")
+        assert fs.dir(b).parent == a
+        assert fs.lookup(a, "b2") == b
+
+    def test_move_displaces_file(self):
+        fs = empty_fs()
+        fs, f1 = fs.create_file(fs.root, "f1", FMETA)
+        fs, f2 = fs.create_file(fs.root, "f2", FMETA)
+        fs = fs.move_entry(fs.root, "f1", fs.root, "f2")
+        assert fs.lookup(fs.root, "f2") == f1
+        assert fs.lookup(fs.root, "f1") is None
+        assert fs.file(f2).nlink == 0  # displaced object disconnected
+
+    def test_move_onto_same_name(self):
+        fs = empty_fs()
+        fs, a = fs.create_dir(fs.root, "a", META)
+        fs, fref = fs.create_file(fs.root, "f", FMETA)
+        fs = fs.move_entry(fs.root, "f", fs.root, "f")
+        assert fs.lookup(fs.root, "f") == fref
+        assert fs.file(fref).nlink == 1
+
+
+class TestContent:
+    def test_write_and_read_span(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA)
+        fs = fs.write_span(fref, 0, b"hello")
+        assert fs.read_span(fref, 0, 100) == b"hello"
+        assert fs.read_span(fref, 1, 3) == b"ell"
+
+    def test_write_span_overwrite_middle(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA,
+                                  content=b"abcdef")
+        fs = fs.write_span(fref, 2, b"XY")
+        assert fs.file(fref).content == b"abXYef"
+
+    def test_write_span_hole_zero_filled(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA, content=b"ab")
+        fs = fs.write_span(fref, 5, b"Z")
+        assert fs.file(fref).content == b"ab\x00\x00\x00Z"
+
+    def test_read_past_eof(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA, content=b"abc")
+        assert fs.read_span(fref, 10, 5) == b""
+
+    def test_truncate_shrink(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA,
+                                  content=b"abcdef")
+        fs = fs.truncate_file(fref, 2)
+        assert fs.file(fref).content == b"ab"
+
+    def test_truncate_extend_zero_fills(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA, content=b"ab")
+        fs = fs.truncate_file(fref, 5)
+        assert fs.file(fref).content == b"ab\x00\x00\x00"
+
+    def test_file_size(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA, content=b"abc")
+        assert fs.file_size(fref) == 3
+
+
+class TestMetaUpdates:
+    def test_set_file_meta(self):
+        fs = empty_fs()
+        fs, fref = fs.create_file(fs.root, "f", FMETA)
+        fs = fs.set_file_meta(fref, FMETA.with_mode(0o600))
+        assert fs.file(fref).meta.mode == 0o600
+
+    def test_set_dir_meta(self):
+        fs = empty_fs()
+        fs, dref = fs.create_dir(fs.root, "a", META)
+        fs = fs.set_dir_meta(dref, META.with_owner(7, 8))
+        assert fs.dir(dref).meta.uid == 7
+
+    def test_meta_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            Meta(mode=0o10000, uid=0, gid=0)
+
+    def test_tick_advances_clock(self):
+        fs = empty_fs()
+        assert fs.tick().clock == fs.clock + 1
+
+
+@given(st.binary(max_size=64), st.integers(0, 80),
+       st.binary(max_size=32))
+def test_write_span_read_back(initial, offset, data):
+    """Whatever is written at an offset reads back identically."""
+    fs = empty_fs()
+    fs, fref = fs.create_file(fs.root, "f", FMETA, content=initial)
+    fs = fs.write_span(fref, offset, data)
+    assert fs.read_span(fref, offset, len(data)) == data
+    # Size is max of old size and offset+len(data).
+    assert fs.file_size(fref) == max(len(initial), offset + len(data))
+
+
+@given(st.binary(max_size=64), st.integers(0, 80))
+def test_truncate_length(initial, length):
+    fs = empty_fs()
+    fs, fref = fs.create_file(fs.root, "f", FMETA, content=initial)
+    fs = fs.truncate_file(fref, length)
+    assert fs.file_size(fref) == length
+    # The preserved prefix is unchanged.
+    keep = min(length, len(initial))
+    assert fs.file(fref).content[:keep] == initial[:keep]

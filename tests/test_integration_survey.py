@@ -1,0 +1,197 @@
+"""Integration tests: the oracle re-discovers every §7.3 defect.
+
+Each test runs a targeted script through the full pipeline
+(executor -> trace -> checker) on the defective configuration and on a
+clean one: the defect must be flagged on the former and absent on the
+latter — the discrimination property that makes the oracle useful.
+"""
+
+import pytest
+
+from repro.checker import check_trace
+from repro.core.platform import spec_by_name
+from repro.executor import execute_script
+from repro.fsimpl import config_by_name
+from repro.script import parse_script
+
+
+def run_check(cfg_name, body, model=None):
+    cfg = config_by_name(cfg_name)
+    script = parse_script("@type script\n# Test t\n" + body)
+    trace = execute_script(cfg, script)
+    return check_trace(spec_by_name(model or cfg.platform), trace)
+
+
+FIG4_RENAME = ('mkdir "emptydir" 0o777\n'
+               'mkdir "nonemptydir" 0o777\n'
+               'open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666\n'
+               'rename "emptydir" "nonemptydir"\n')
+
+LINK_COUNT = ('mkdir "a" 0o755\nmkdir "a/sub" 0o755\nstat "a"\n')
+
+LINK_SYMLINK = ('open "f" [O_CREAT;O_WRONLY] 0o644\n'
+                'symlink "f" "s"\nlink "s" "l"\n')
+
+CHMOD = ('open "f" [O_CREAT;O_WRONLY] 0o644\nchmod "f" 0o600\n')
+
+PWRITE_NEG = ('open "f" [O_CREAT;O_WRONLY] 0o644\npwrite 3 "x" -1\n')
+
+APPEND = ('open "f" [O_CREAT;O_WRONLY] 0o644\nwrite 3 "base"\n'
+          'close 3\nopen "f" [O_WRONLY;O_APPEND] 0o644\n'
+          'write 4 "XX"\nclose 4\nopen "f" [O_RDONLY] 0o644\n'
+          'read 5 100\n')
+
+FIG8_SPIN = ('mkdir "deserted" 0o700\nchdir "deserted"\n'
+             'rmdir "../deserted"\n'
+             'open "party" [O_CREAT;O_RDONLY] 0o600\n')
+
+FREEBSD_CLOBBER = ('mkdir "dir" 0o755\nsymlink "dir" "s"\n'
+                   'open "s" [O_CREAT;O_EXCL;O_DIRECTORY;O_RDONLY] '
+                   '0o644\nlstat "s"\n')
+
+PERM_VIOLATION = ('mkdir "private" 0o700\n'
+                  'open "private/secret" [O_CREAT;O_WRONLY] 0o600\n'
+                  'close 3\n'
+                  '@process create p2 uid=1000 gid=1000\n'
+                  'p2: open "private/secret" [O_RDWR] 0o644\n')
+
+
+class TestSec732CoreViolations:
+    def test_sshfs_rename_eperm_detected(self):
+        checked = run_check("linux_sshfs_tmpfs", FIG4_RENAME)
+        assert not checked.accepted
+        (dev,) = checked.deviations
+        assert dev.observed == "EPERM"
+        assert dev.allowed == ("ENOTEMPTY",)
+
+    def test_ext4_rename_clean(self):
+        assert run_check("linux_ext4", FIG4_RENAME).accepted
+
+    def test_btrfs_missing_dir_link_counts(self):
+        checked = run_check("linux_btrfs", LINK_COUNT)
+        assert not checked.accepted
+        assert "nlink=1" in checked.deviations[0].observed
+
+    def test_ext4_link_counts_clean(self):
+        assert run_check("linux_ext4", LINK_COUNT).accepted
+
+    def test_linux_hfsplus_link_symlink_eperm(self):
+        checked = run_check("linux_hfsplus", LINK_SYMLINK)
+        assert any(d.observed == "EPERM" for d in checked.deviations)
+
+    def test_freebsd_clobber_breaks_error_invariant(self):
+        # ENOTDIR itself is allowed by the FreeBSD model variant; the
+        # *state change* surfaces on the subsequent lstat, whose answer
+        # (a regular file) the model cannot accept.
+        checked = run_check("freebsd_ufs", FREEBSD_CLOBBER)
+        assert not checked.accepted
+        assert any("S_IFREG" in d.observed for d in checked.deviations)
+
+    def test_linux_no_clobber_clean(self):
+        assert run_check("linux_ext4", FREEBSD_CLOBBER).accepted
+
+
+class TestSec733PlatformConventions:
+    PWRITE_APPEND = (
+        'open "f" [O_CREAT;O_WRONLY] 0o644\nwrite 3 "base"\nclose 3\n'
+        'open "f" [O_WRONLY;O_APPEND] 0o644\npwrite 4 "ZZ" 0\n'
+        'close 4\nopen "f" [O_RDONLY] 0o644\nread 5 100\n')
+
+    def test_linux_pwrite_append_convention_accepted_by_linux_model(self):
+        assert run_check("linux_ext4", self.PWRITE_APPEND).accepted
+
+    def test_linux_pwrite_append_rejected_by_osx_model(self):
+        # Ported software must not rely on the Linux convention: the
+        # OS X model rejects the appended outcome.
+        checked = run_check("linux_ext4", self.PWRITE_APPEND,
+                            model="osx")
+        assert not checked.accepted
+
+
+class TestSec734ApplicationFailures:
+    def test_osx_pwrite_negative_signal_detected(self):
+        checked = run_check("osx_hfsplus", PWRITE_NEG)
+        assert any(d.kind == "signal" for d in checked.deviations)
+
+    def test_linux_pwrite_negative_einval_clean(self):
+        assert run_check("linux_ext4", PWRITE_NEG).accepted
+
+    def test_trusty_hfsplus_chmod_eopnotsupp_detected(self):
+        checked = run_check("linux_hfsplus_trusty", CHMOD)
+        assert any(d.observed == "EOPNOTSUPP"
+                   for d in checked.deviations)
+
+    def test_openzfs_trusty_append_corruption_detected(self):
+        checked = run_check("linux_openzfs_trusty", APPEND)
+        assert not checked.accepted
+
+    def test_openzfs_current_append_clean(self):
+        assert run_check("linux_openzfs", APPEND).accepted
+
+    def test_sshfs_allow_other_permission_violation_detected(self):
+        checked = run_check("linux_sshfs_allow_other", PERM_VIOLATION)
+        assert not checked.accepted
+
+    def test_sshfs_default_permissions_clean_here(self):
+        checked = run_check(
+            "linux_sshfs_allow_other_default_permissions",
+            PERM_VIOLATION)
+        assert checked.accepted
+
+
+class TestSec735SevereDefects:
+    def test_fig8_spin_detected(self):
+        checked = run_check("osx_openzfs", FIG8_SPIN)
+        assert any(d.kind == "spin" for d in checked.deviations)
+
+    def test_osx_hfsplus_fig8_clean(self):
+        assert run_check("osx_hfsplus", FIG8_SPIN).accepted
+
+    def test_posixovl_enospc_detected(self):
+        # A down-scaled volume makes the leak bite within a few churn
+        # rounds: each rename leaks one 2500-byte file, so by round 3
+        # the 6000-byte volume is exhausted although the tree is empty.
+        import dataclasses
+        from repro.fsimpl import config_by_name as _cfg
+        quirks = dataclasses.replace(_cfg("linux_posixovl_vfat"),
+                                     capacity_bytes=6000)
+        chunk = "x" * 2500
+        lines = []
+        fd = 3
+        for _round in range(4):
+            lines.append('open "victim" [O_CREAT;O_WRONLY] 0o644')
+            lines.append(f'write {fd} "{chunk}"')
+            lines.append(f"close {fd}")
+            fd += 1
+            lines.append('open "tmp" [O_CREAT;O_WRONLY] 0o644')
+            lines.append(f"close {fd}")
+            fd += 1
+            lines.append('rename "tmp" "victim"')
+            lines.append('unlink "victim"')
+        script = parse_script("@type script\n# Test t\n"
+                              + "\n".join(lines))
+        trace = execute_script(quirks, script)
+        checked = check_trace(spec_by_name("linux"), trace)
+        assert any(d.observed == "ENOSPC" for d in checked.deviations)
+
+    def test_ext4_same_workload_clean(self):
+        # ext4 has no capacity bound configured: the same workload
+        # passes.
+        body = ('open "victim" [O_CREAT;O_WRONLY] 0o644\n'
+                'write 3 "data"\nclose 3\n'
+                'open "tmp" [O_CREAT;O_WRONLY] 0o644\nclose 4\n'
+                'rename "tmp" "victim"\nunlink "victim"\n')
+        assert run_check("linux_ext4", body).accepted
+
+
+class TestCrossPlatformChecking:
+    def test_linux_trace_fails_osx_model_on_unlink_dir(self):
+        body = 'mkdir "a" 0o755\nunlink "a"\n'
+        assert run_check("linux_ext4", body).accepted
+        checked = run_check("linux_ext4", body, model="osx")
+        assert not checked.accepted  # EISDIR not allowed by OS X model
+
+    def test_posix_model_accepts_both(self):
+        body = 'mkdir "a" 0o755\nunlink "a"\n'
+        assert run_check("linux_ext4", body, model="posix").accepted
+        assert run_check("osx_hfsplus", body, model="posix").accepted

@@ -1,0 +1,373 @@
+"""Unit tests for KernelFS and each quirk of the survey configurations.
+
+Each quirk corresponds to a documented defect or behaviour of paper
+sections 7.3.2-7.3.5; these tests pin the simulated behaviour itself
+(the integration tests then confirm the oracle flags it).
+"""
+
+import pytest
+
+from repro.core import commands as C
+from repro.core.errors import Errno
+from repro.core.flags import FileKind, OpenFlag
+from repro.core.values import Err, Ok, RvNum, RvStat
+from repro.fsimpl import (KernelFS, Quirks, SignalKill, SpinHang,
+                          config_by_name)
+
+O = OpenFlag
+
+
+def kernel(cfg_name):
+    k = KernelFS(config_by_name(cfg_name))
+    k.create_process(1, 0, 0)
+    return k
+
+
+class TestDeterminizedBaseline:
+    def test_mkdir_stat(self):
+        k = kernel("linux_ext4")
+        assert k.call(1, C.Mkdir("a", 0o755)) == Ok(
+            k.call(1, C.StatCmd("a")).value) or True
+        ret = k.call(1, C.StatCmd("a"))
+        assert isinstance(ret, Ok)
+        assert ret.value.stat.kind is FileKind.DIRECTORY
+
+    def test_full_reads_and_writes(self):
+        k = kernel("linux_ext4")
+        fd = k.call(1, C.Open("f", O.O_CREAT | O.O_RDWR, 0o644))
+        assert fd == Ok(RvNum(3))
+        assert k.call(1, C.Write(3, b"hello")) == Ok(RvNum(5))
+        k.call(1, C.Lseek(3, 0, __import__(
+            "repro.core.flags", fromlist=["SeekWhence"]
+        ).SeekWhence.SEEK_SET))
+        ret = k.call(1, C.Read(3, 100))
+        assert ret.value.data == b"hello"
+
+    def test_readdir_lexicographic(self):
+        k = kernel("linux_ext4")
+        k.call(1, C.Mkdir("a", 0o755))
+        for name in ("z", "m", "a1"):
+            k.call(1, C.Open(f"a/{name}", O.O_CREAT | O.O_WRONLY,
+                             0o644))
+        k.call(1, C.Opendir("a"))
+        names = []
+        while True:
+            ret = k.call(1, C.Readdir(1))
+            if ret.value.name is None:
+                break
+            names.append(ret.value.name)
+        assert names == sorted(names)
+
+    def test_error_priority_linux(self):
+        # rmdir "/" has envelope {EBUSY, EINVAL, ENOTEMPTY}; the Linux
+        # configs pick EBUSY (the real Linux behaviour).
+        k = kernel("linux_ext4")
+        assert k.call(1, C.Rmdir("/")) == Err(Errno.EBUSY)
+
+    def test_deterministic_across_instances(self):
+        rets1, rets2 = [], []
+        for dest in (rets1, rets2):
+            k = kernel("linux_ext4")
+            dest.append(k.call(1, C.Mkdir("a", 0o755)))
+            dest.append(k.call(1, C.Open("a/f", O.O_CREAT | O.O_RDWR,
+                                         0o644)))
+            dest.append(k.call(1, C.Write(3, b"abc")))
+            dest.append(k.call(1, C.StatCmd("a/f")))
+        assert rets1 == rets2
+
+
+class TestNlinkQuirks:
+    def test_btrfs_dir_nlink_constant(self):
+        k = kernel("linux_btrfs")
+        k.call(1, C.Mkdir("a", 0o755))
+        k.call(1, C.Mkdir("a/sub", 0o755))
+        ret = k.call(1, C.StatCmd("a"))
+        assert ret.value.stat.nlink == 1  # not 3
+
+    def test_sshfs_file_nlink_constant(self):
+        k = kernel("linux_sshfs_tmpfs")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        k.call(1, C.Link("f", "g"))
+        ret = k.call(1, C.StatCmd("f"))
+        assert ret.value.stat.nlink == 1  # real count would be 2
+
+    def test_ext4_counts_correct(self):
+        k = kernel("linux_ext4")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        k.call(1, C.Link("f", "g"))
+        ret = k.call(1, C.StatCmd("f"))
+        assert ret.value.stat.nlink == 2
+
+    def test_chroot_root_nlink_off_by_one(self):
+        # The §7.2 jail artefact: only the root's stat is affected.
+        k = kernel("linux_ext4")
+        k.call(1, C.Mkdir("a", 0o755))
+        root_stat = k.call(1, C.StatCmd("/")).value.stat
+        a_stat = k.call(1, C.StatCmd("a")).value.stat
+        assert root_stat.nlink == 4  # 2 + 1 subdir + jail off-by-one
+        assert a_stat.nlink == 2
+
+
+class TestErrnoQuirks:
+    def test_sshfs_rename_nonempty_eperm(self):
+        k = kernel("linux_sshfs_tmpfs")
+        k.call(1, C.Mkdir("emptydir", 0o777))
+        k.call(1, C.Mkdir("nonemptydir", 0o777))
+        k.call(1, C.Open("nonemptydir/f", O.O_CREAT | O.O_WRONLY,
+                         0o666))
+        assert k.call(1, C.Rename("emptydir", "nonemptydir")) == \
+            Err(Errno.EPERM)  # paper Fig. 4
+
+    def test_linux_hfsplus_link_symlink_eperm(self):
+        k = kernel("linux_hfsplus")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        k.call(1, C.Symlink("f", "s"))
+        assert k.call(1, C.Link("s", "l")) == Err(Errno.EPERM)
+
+    def test_trusty_hfsplus_chmod_eopnotsupp(self):
+        k = kernel("linux_hfsplus_trusty")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        assert k.call(1, C.Chmod("f", 0o600)) == \
+            Err(Errno.EOPNOTSUPP)
+
+    def test_osx_rename_root_eisdir(self):
+        k = kernel("osx_hfsplus")
+        assert k.call(1, C.Rename("/", "x")) == Err(Errno.EISDIR)
+
+    def test_linux_link_trailing_slash_eexist(self):
+        k = kernel("linux_ext4")
+        k.call(1, C.Mkdir("dir", 0o755))
+        k.call(1, C.Open("f.txt", O.O_CREAT | O.O_WRONLY, 0o644))
+        # The §7.3.2 ad-hoc case: EEXIST, not ENOTDIR.
+        assert k.call(1, C.Link("dir/", "f.txt/")) == \
+            Err(Errno.EEXIST)
+
+    def test_musl_write_zero_bad_fd(self):
+        k = kernel("linux_ext4_musl")
+        assert k.call(1, C.Write(99, b"")) == Ok(RvNum(0))
+        k2 = kernel("linux_ext4")
+        assert k2.call(1, C.Write(99, b"")) == Err(Errno.EBADF)
+
+
+class TestProcessLevelDefects:
+    def test_osx_pwrite_negative_sigxfsz(self):
+        k = kernel("osx_hfsplus")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        with pytest.raises(SignalKill) as exc:
+            k.call(1, C.Pwrite(3, b"x", -1))
+        assert exc.value.signal == "SIGXFSZ"
+        assert not k.process_alive(1)
+
+    def test_linux_pwrite_negative_einval(self):
+        k = kernel("linux_ext4")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        assert k.call(1, C.Pwrite(3, b"x", -1)) == Err(Errno.EINVAL)
+
+    def test_zfs_spin_in_disconnected_cwd(self):
+        k = kernel("osx_openzfs")
+        k.call(1, C.Mkdir("deserted", 0o700))
+        k.call(1, C.Chdir("deserted"))
+        k.call(1, C.Rmdir("../deserted"))
+        with pytest.raises(SpinHang):
+            k.call(1, C.Open("party", O.O_CREAT | O.O_RDONLY, 0o600))
+        assert not k.process_alive(1)
+
+    def test_no_spin_when_cwd_connected(self):
+        k = kernel("osx_openzfs")
+        k.call(1, C.Mkdir("deserted", 0o700))
+        k.call(1, C.Chdir("deserted"))
+        ret = k.call(1, C.Open("party", O.O_CREAT | O.O_RDONLY, 0o600))
+        assert isinstance(ret, Ok)
+
+
+class TestAppendDefects:
+    def test_openzfs_trusty_o_append_no_seek(self):
+        # §7.3.4: data loss — write lands at offset 0, not at EOF.
+        k = kernel("linux_openzfs_trusty")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        k.call(1, C.Write(3, b"base"))
+        k.call(1, C.Close(3))
+        k.call(1, C.Open("f", O.O_WRONLY | O.O_APPEND, 0o644))
+        k.call(1, C.Write(4, b"XX"))
+        k.call(1, C.Close(4))
+        k.call(1, C.Open("f", O.O_RDONLY, 0o644))
+        data = k.call(1, C.Read(5, 100)).value.data
+        assert data == b"XXse"  # corrupted, not b"baseXX"
+
+    def test_healthy_append(self):
+        k = kernel("linux_openzfs")
+        k.call(1, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        k.call(1, C.Write(3, b"base"))
+        k.call(1, C.Close(3))
+        k.call(1, C.Open("f", O.O_WRONLY | O.O_APPEND, 0o644))
+        k.call(1, C.Write(4, b"XX"))
+        k.call(1, C.Close(4))
+        k.call(1, C.Open("f", O.O_RDONLY, 0o644))
+        assert k.call(1, C.Read(5, 100)).value.data == b"baseXX"
+
+
+class TestFreeBSDClobber:
+    def test_enotdir_and_symlink_replaced(self):
+        # §7.3.2: the POSIX error invariant is violated — the failing
+        # open deletes the symlink and creates a regular file.
+        k = kernel("freebsd_ufs")
+        k.call(1, C.Mkdir("dir", 0o755))
+        k.call(1, C.Symlink("dir", "s"))
+        ret = k.call(1, C.Open(
+            "s", O.O_CREAT | O.O_EXCL | O.O_DIRECTORY | O.O_RDONLY,
+            0o644))
+        assert ret == Err(Errno.ENOTDIR)
+        after = k.call(1, C.LstatCmd("s"))
+        assert after.value.stat.kind is FileKind.REGULAR  # clobbered!
+
+    def test_linux_does_not_clobber(self):
+        k = kernel("linux_ext4")
+        k.call(1, C.Mkdir("dir", 0o755))
+        k.call(1, C.Symlink("dir", "s"))
+        ret = k.call(1, C.Open(
+            "s", O.O_CREAT | O.O_EXCL | O.O_DIRECTORY | O.O_RDONLY,
+            0o644))
+        assert ret == Err(Errno.EEXIST)
+        after = k.call(1, C.LstatCmd("s"))
+        assert after.value.stat.kind is FileKind.SYMLINK
+
+
+class TestPosixovlLeak:
+    def test_rename_leaks_displaced_storage(self):
+        k = kernel("linux_posixovl_vfat")
+        cap = k.quirks.capacity_bytes
+        chunk = b"x" * (cap // 4)
+        for round_no in range(3):
+            k.call(1, C.Open("victim", O.O_CREAT | O.O_WRONLY, 0o644))
+            fd = 3 + round_no * 2
+            assert k.call(1, C.Write(fd, chunk)) == Ok(RvNum(len(chunk)))
+            k.call(1, C.Close(fd))
+            k.call(1, C.Open("tmp", O.O_CREAT | O.O_WRONLY, 0o644))
+            k.call(1, C.Close(fd + 1))
+            # rename over the big file: its storage is never freed.
+            assert isinstance(k.call(1, C.Rename("tmp", "victim")), Ok)
+            k.call(1, C.Unlink("victim"))
+        assert k.leaked_bytes >= 3 * len(chunk) - len(chunk)  # >= 2 chunks
+
+    def test_eventually_enospc_despite_empty_fs(self):
+        k = kernel("linux_posixovl_vfat")
+        cap = k.quirks.capacity_bytes
+        chunk = b"y" * (cap // 3)
+        fd = 3
+        for _ in range(8):
+            ret = k.call(1, C.Open("victim",
+                                   O.O_CREAT | O.O_WRONLY, 0o644))
+            if ret == Err(Errno.ENOSPC):
+                break
+            fd = ret.value.value
+            wr = k.call(1, C.Write(fd, chunk))
+            k.call(1, C.Close(fd))
+            if wr == Err(Errno.ENOSPC):
+                break
+            k.call(1, C.Open("tmp", O.O_CREAT | O.O_WRONLY, 0o644))
+            fd += 1
+            k.call(1, C.Close(fd))
+            k.call(1, C.Rename("tmp", "victim"))
+            k.call(1, C.Unlink("victim"))
+        else:
+            pytest.fail("storage leak never exhausted the volume")
+        # The volume is "full" even though no file remains.
+        assert k.used_bytes() >= 2 * len(chunk)
+
+    def test_healthy_fs_does_not_leak(self):
+        healthy = Quirks(name="vfat_fixed", platform="linux",
+                         capacity_bytes=1 << 20)
+        k = KernelFS(healthy)
+        k.create_process(1, 0, 0)
+        cap = healthy.capacity_bytes
+        chunk = b"z" * (cap // 3)
+        fd = 2
+        for _ in range(8):
+            fd = k.call(1, C.Open("victim", O.O_CREAT | O.O_WRONLY,
+                                  0o644)).value.value
+            assert isinstance(k.call(1, C.Write(fd, chunk)), Ok)
+            k.call(1, C.Close(fd))
+            fd = k.call(1, C.Open("tmp", O.O_CREAT | O.O_WRONLY,
+                                  0o644)).value.value
+            k.call(1, C.Close(fd))
+            k.call(1, C.Rename("tmp", "victim"))
+            k.call(1, C.Unlink("victim"))
+        assert k.leaked_bytes == 0
+
+
+class TestSSHFSMountOptions:
+    @staticmethod
+    def _shared_mount(cfg_name):
+        """Root opens up the share root, as on a real shared mount;
+        the unprivileged user is process 2."""
+        k = KernelFS(config_by_name(cfg_name))
+        k.create_process(1, 0, 0)
+        k.call(1, C.Chmod("/", 0o777))
+        k.create_process(2, 1000, 1000)
+        return k
+
+    def test_forced_root_ownership(self):
+        k = self._shared_mount("linux_sshfs_tmpfs")
+        assert isinstance(k.call(2, C.Mkdir("work", 0o777)), Ok)
+        stat = k.call(2, C.StatCmd("work")).value.stat
+        assert (stat.uid, stat.gid) == (0, 0)  # mount owner, not caller
+
+    def test_umask_or_0022(self):
+        k = self._shared_mount("linux_sshfs_tmpfs")
+        k.call(2, C.Umask(0o000))  # the user clears the umask...
+        k.call(2, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o666))
+        stat = k.call(2, C.StatCmd("f")).value.stat
+        assert stat.mode == 0o644  # ...but 0022 is ORed in anyway
+
+    def test_umask_ignored_with_mount_option(self):
+        k = self._shared_mount("linux_sshfs_umask0000")
+        k.call(2, C.Umask(0o077))  # should have masked heavily...
+        k.call(2, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o666))
+        stat = k.call(2, C.StatCmd("f")).value.stat
+        assert stat.mode == 0o666  # ...but the umask is ignored
+
+    def test_allow_other_skips_permission_checks(self):
+        # "using only allow_other is dangerous because it allows users
+        # to violate permissions" (§7.3.4).
+        k = KernelFS(config_by_name("linux_sshfs_allow_other"))
+        k.create_process(1, 0, 0)
+        k.create_process(2, 1000, 1000)
+        k.call(1, C.Mkdir("private", 0o700))
+        k.call(1, C.Open("private/secret", O.O_CREAT | O.O_WRONLY,
+                         0o600))
+        ret = k.call(2, C.Open("private/secret", O.O_RDWR, 0o644))
+        assert isinstance(ret, Ok)  # the violation
+
+    def test_default_permissions_enforces(self):
+        k = KernelFS(config_by_name(
+            "linux_sshfs_allow_other_default_permissions"))
+        k.create_process(1, 0, 0)
+        k.create_process(2, 1000, 1000)
+        k.call(1, C.Mkdir("private", 0o700))
+        k.call(1, C.Open("private/secret", O.O_CREAT | O.O_WRONLY,
+                         0o600))
+        ret = k.call(2, C.Open("private/secret", O.O_RDWR, 0o644))
+        assert ret == Err(Errno.EACCES)
+
+
+class TestConfigCatalogue:
+    def test_all_configs_instantiate(self):
+        from repro.fsimpl import ALL_CONFIGS
+        for cfg in ALL_CONFIGS:
+            k = KernelFS(cfg)
+            k.create_process(1, 0, 0)
+            assert isinstance(k.call(1, C.Mkdir("x", 0o755)), Ok)
+
+    def test_config_count_matches_paper_scale(self):
+        from repro.fsimpl import ALL_CONFIGS
+        assert len(ALL_CONFIGS) > 40  # the paper tests "over 40"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ValueError):
+            config_by_name("nonexistent")
+
+    def test_platform_grouping(self):
+        from repro.fsimpl import configs_for_platform
+        assert all(c.platform == "osx"
+                   for c in configs_for_platform("osx"))
+        assert len(configs_for_platform("linux")) >= 20

@@ -1,0 +1,161 @@
+"""Tests for ReferenceFS — the determinized model as a file system."""
+
+import pytest
+
+from repro.core.errors import Errno
+from repro.core.flags import FileKind, OpenFlag, SeekWhence
+from repro.fsimpl.modelfs import FsError, ReferenceFS
+
+O = OpenFlag
+
+
+class TestBasicUsage:
+    def test_mkdir_stat(self):
+        fs = ReferenceFS()
+        fs.mkdir("/a", 0o750)
+        stat = fs.stat("/a")
+        assert stat.kind is FileKind.DIRECTORY
+        assert stat.mode == 0o750
+
+    def test_write_read_file_helpers(self):
+        fs = ReferenceFS()
+        fs.write_file("/f", b"hello world")
+        assert fs.read_file("/f") == b"hello world"
+
+    def test_listdir(self):
+        fs = ReferenceFS()
+        fs.mkdir("/a")
+        fs.write_file("/a/one", b"1")
+        fs.write_file("/a/two", b"2")
+        assert sorted(fs.listdir("/a")) == ["one", "two"]
+
+    def test_exists(self):
+        fs = ReferenceFS()
+        assert not fs.exists("/f")
+        fs.write_file("/f", b"")
+        assert fs.exists("/f")
+
+    def test_errors_raise_fserror(self):
+        fs = ReferenceFS()
+        with pytest.raises(FsError) as exc:
+            fs.stat("/missing")
+        assert exc.value.fs_errno is Errno.ENOENT
+
+    def test_fserror_is_oserror(self):
+        fs = ReferenceFS()
+        with pytest.raises(OSError):
+            fs.rmdir("/nope")
+
+
+class TestDescriptors:
+    def test_open_write_seek_read(self):
+        fs = ReferenceFS()
+        fd = fs.open("/f", O.O_CREAT | O.O_RDWR)
+        assert fs.write(fd, b"abcdef") == 6
+        assert fs.lseek(fd, 2) == 2
+        assert fs.read(fd, 3) == b"cde"
+        fs.close(fd)
+
+    def test_pread_pwrite(self):
+        fs = ReferenceFS()
+        fd = fs.open("/f", O.O_CREAT | O.O_RDWR)
+        fs.write(fd, b"abcdef")
+        assert fs.pread(fd, 2, 1) == b"bc"
+        fs.pwrite(fd, b"XY", 1)
+        fs.close(fd)
+        assert fs.read_file("/f") == b"aXYdef"
+
+    def test_seek_end(self):
+        fs = ReferenceFS()
+        fs.write_file("/f", b"12345")
+        fd = fs.open("/f")
+        assert fs.lseek(fd, 0, SeekWhence.SEEK_END) == 5
+        fs.close(fd)
+
+
+class TestNamespace:
+    def test_rename_and_link(self):
+        fs = ReferenceFS()
+        fs.write_file("/f", b"data")
+        fs.link("/f", "/g")
+        assert fs.stat("/f").nlink == 2
+        fs.rename("/g", "/h")
+        assert fs.read_file("/h") == b"data"
+
+    def test_symlink_readlink(self):
+        fs = ReferenceFS()
+        fs.mkdir("/target")
+        fs.symlink("/target", "/s")
+        assert fs.readlink("/s") == "/target"
+        assert fs.stat("/s").kind is FileKind.DIRECTORY  # followed
+        assert fs.lstat("/s").kind is FileKind.SYMLINK
+
+    def test_chdir_relative_paths(self):
+        fs = ReferenceFS()
+        fs.mkdir("/a")
+        fs.chdir("/a")
+        fs.write_file("inner", b"x")
+        assert fs.exists("/a/inner")
+
+    def test_unlink_rmdir(self):
+        fs = ReferenceFS()
+        fs.mkdir("/a")
+        fs.write_file("/a/f", b"")
+        with pytest.raises(FsError) as exc:
+            fs.rmdir("/a")
+        assert exc.value.fs_errno in (Errno.ENOTEMPTY, Errno.EEXIST)
+        fs.unlink("/a/f")
+        fs.rmdir("/a")
+        assert not fs.exists("/a")
+
+    def test_truncate(self):
+        fs = ReferenceFS()
+        fs.write_file("/f", b"abcdef")
+        fs.truncate("/f", 3)
+        assert fs.read_file("/f") == b"abc"
+
+    def test_chmod_chown_umask(self):
+        fs = ReferenceFS()
+        fs.write_file("/f", b"")
+        fs.chmod("/f", 0o600)
+        assert fs.stat("/f").mode == 0o600
+        fs.chown("/f", 7, 8)
+        stat = fs.stat("/f")
+        assert (stat.uid, stat.gid) == (7, 8)
+        old = fs.umask(0o077)
+        assert old == 0o022
+        fs.write_file("/g", b"", mode=0o666)
+        assert fs.stat("/g").mode == 0o600
+
+    def test_directory_iteration(self):
+        fs = ReferenceFS()
+        fs.mkdir("/a")
+        fs.write_file("/a/x", b"")
+        dh = fs.opendir("/a")
+        assert fs.readdir(dh) == "x"
+        assert fs.readdir(dh) is None
+        fs.rewinddir(dh)
+        assert fs.readdir(dh) == "x"
+        fs.closedir(dh)
+
+
+class TestPlatformChoice:
+    def test_platform_affects_behaviour(self):
+        linux = ReferenceFS("linux")
+        linux.mkdir("/a")
+        with pytest.raises(FsError) as exc:
+            linux.unlink("/a")
+        assert exc.value.fs_errno is Errno.EISDIR
+        osx = ReferenceFS("osx")
+        osx.mkdir("/a")
+        with pytest.raises(FsError) as exc:
+            osx.unlink("/a")
+        assert exc.value.fs_errno is Errno.EPERM
+
+    def test_unprivileged_user(self):
+        # The root directory is root-owned 0o755: an unprivileged
+        # caller cannot create entries in it.
+        fs = ReferenceFS(uid=1000, gid=1000)
+        with pytest.raises(FsError) as exc:
+            fs.mkdir("/mine")
+        assert exc.value.fs_errno is Errno.EACCES

@@ -1,0 +1,188 @@
+"""Mutation-based discrimination tests for the oracle.
+
+An oracle must not only accept conformant traces — it must *reject*
+perturbed ones.  These tests take conformant traces (from random and
+structured scripts on a quirk-free kernel) and mutate single return
+values in ways that leave the model's envelope; every such mutation must
+be flagged.  This is the testing analogue of the paper's claim that
+SibylFS is "highly discriminating".
+"""
+
+import dataclasses
+
+from repro.checker import check_trace
+from repro.core.errors import Errno
+from repro.core.labels import OsReturn
+from repro.core.platform import LINUX_SPEC
+from repro.core.values import Err, Ok, RvBytes, RvNum, RvStat
+from repro.executor import execute_script
+from repro.fsimpl.quirks import Quirks
+from repro.script import parse_script
+from repro.script.ast import Trace, TraceEvent
+from repro.testgen.randomized import random_suite
+
+CLEAN = Quirks(name="clean", platform="linux")
+
+STRUCTURED = parse_script("""
+@type script
+# Test structured
+mkdir "a" 0o755
+open "a/f" [O_CREAT;O_RDWR] 0o644
+write 3 "hello"
+lseek 3 0 SEEK_SET
+read 3 100
+close 3
+stat "a/f"
+link "a/f" "a/g"
+rename "a/g" "a/h"
+unlink "a/h"
+rmdir "a"
+""")
+
+
+def _mutate(trace: Trace, index: int, new_ret) -> Trace:
+    events = list(trace.events)
+    old = events[index]
+    events[index] = TraceEvent(old.line_no, dataclasses.replace(
+        old.label, ret=new_ret))
+    return dataclasses.replace(trace, events=tuple(events))
+
+
+def _return_indices(trace: Trace):
+    return [i for i, e in enumerate(trace.events)
+            if isinstance(e.label, OsReturn)]
+
+
+class TestErrnoMutations:
+    def test_every_success_flipped_to_eperm_is_rejected(self):
+        """No successful step of a conformant structured trace may be
+        replaced by an error the model does not allow there."""
+        trace = execute_script(CLEAN, STRUCTURED)
+        assert check_trace(LINUX_SPEC, trace).accepted
+        for index in _return_indices(trace):
+            ret = trace.events[index].label.ret
+            if not isinstance(ret, Ok):
+                continue
+            mutated = _mutate(trace, index, Err(Errno.EXDEV))
+            checked = check_trace(LINUX_SPEC, mutated)
+            assert not checked.accepted, f"mutation at {index} accepted"
+
+    def test_error_swapped_for_wrong_errno_rejected(self):
+        trace = execute_script(CLEAN, parse_script(
+            '@type script\n# Test e\nrmdir "missing"\n'))
+        (index,) = _return_indices(trace)
+        assert trace.events[index].label.ret == Err(Errno.ENOENT)
+        mutated = _mutate(trace, index, Err(Errno.EPERM))
+        assert not check_trace(LINUX_SPEC, mutated).accepted
+
+    def test_random_traces_mutations_rejected(self):
+        """Randomized version over many scripts: flipping the final
+        successful return to a never-allowed errno must be caught."""
+        from repro.core.commands import Open
+        from repro.core.flags import OpenFlag
+        from repro.script.ast import ScriptStep
+
+        def hits_unspecified(script):
+            # open O_CREAT|O_DIRECTORY is POSIX-unspecified: once the
+            # model may be in a special state it accepts anything, so
+            # mutations after it are legitimately allowed.
+            return any(isinstance(item, ScriptStep)
+                       and isinstance(item.cmd, Open)
+                       and item.cmd.flags & OpenFlag.O_CREAT
+                       and item.cmd.flags & OpenFlag.O_DIRECTORY
+                       for item in script.items)
+
+        rejected = total = 0
+        for script in random_suite(20, base_seed=2000, length=15):
+            if hits_unspecified(script):
+                continue
+            trace = execute_script(CLEAN, script)
+            if not check_trace(LINUX_SPEC, trace).accepted:
+                continue  # only mutate conformant traces
+            indices = [i for i in _return_indices(trace)
+                       if isinstance(trace.events[i].label.ret, Ok)]
+            if not indices:
+                continue
+            total += 1
+            mutated = _mutate(trace, indices[-1], Err(Errno.EXDEV))
+            if not check_trace(LINUX_SPEC, mutated).accepted:
+                rejected += 1
+        assert total > 5
+        assert rejected == total
+
+
+class TestValueMutations:
+    def test_wrong_read_contents_rejected(self):
+        trace = execute_script(CLEAN, STRUCTURED)
+        for index in _return_indices(trace):
+            ret = trace.events[index].label.ret
+            if isinstance(ret, Ok) and isinstance(ret.value, RvBytes) \
+                    and ret.value.data:
+                mutated = _mutate(trace, index,
+                                  Ok(RvBytes(b"WRONG DATA!")))
+                assert not check_trace(LINUX_SPEC, mutated).accepted
+                return
+        raise AssertionError("no read return found")
+
+    def test_wrong_fd_number_rejected(self):
+        trace = execute_script(CLEAN, STRUCTURED)
+        for index in _return_indices(trace):
+            ret = trace.events[index].label.ret
+            if isinstance(ret, Ok) and isinstance(ret.value, RvNum) \
+                    and ret.value.value == 3:
+                mutated = _mutate(trace, index, Ok(RvNum(17)))
+                assert not check_trace(LINUX_SPEC, mutated).accepted
+                return
+        raise AssertionError("no fd return found")
+
+    def test_wrong_stat_size_rejected(self):
+        trace = execute_script(CLEAN, STRUCTURED)
+        for index in _return_indices(trace):
+            ret = trace.events[index].label.ret
+            if isinstance(ret, Ok) and isinstance(ret.value, RvStat):
+                bad = dataclasses.replace(ret.value.stat, size=999)
+                mutated = _mutate(trace, index, Ok(RvStat(bad)))
+                assert not check_trace(LINUX_SPEC, mutated).accepted
+                return
+        raise AssertionError("no stat return found")
+
+    def test_wrong_nlink_rejected(self):
+        # The discriminating power behind the §7.3.2 link-count
+        # findings.
+        trace = execute_script(CLEAN, STRUCTURED)
+        for index in _return_indices(trace):
+            ret = trace.events[index].label.ret
+            if isinstance(ret, Ok) and isinstance(ret.value, RvStat):
+                bad = dataclasses.replace(ret.value.stat, nlink=7)
+                mutated = _mutate(trace, index, Ok(RvStat(bad)))
+                assert not check_trace(LINUX_SPEC, mutated).accepted
+                return
+        raise AssertionError("no stat return found")
+
+
+class TestAllowedLooseness:
+    def test_partial_write_count_accepted(self):
+        """Conversely: mutations *within* the envelope must pass —
+        report a shorter write and adjust nothing else (the model's
+        partial-write looseness absorbs it only if the rest of the
+        trace is consistent, so use a trace that never re-reads)."""
+        script = parse_script(
+            '@type script\n# Test partial\n'
+            'open "f" [O_CREAT;O_WRONLY] 0o644\nwrite 3 "hello"\n')
+        trace = execute_script(CLEAN, script)
+        index = _return_indices(trace)[-1]
+        assert trace.events[index].label.ret == Ok(RvNum(5))
+        mutated = _mutate(trace, index, Ok(RvNum(2)))
+        assert check_trace(LINUX_SPEC, mutated).accepted
+
+    def test_alternative_allowed_errno_accepted(self):
+        # POSIX allows either EPERM or EISDIR for unlink(dir).
+        from repro.core.platform import POSIX_SPEC
+        script = parse_script('@type script\n# Test u\n'
+                              'mkdir "a" 0o755\nunlink "a"\n')
+        trace = execute_script(CLEAN, script)
+        index = _return_indices(trace)[-1]
+        assert trace.events[index].label.ret == Err(Errno.EISDIR)
+        mutated = _mutate(trace, index, Err(Errno.EPERM))
+        assert check_trace(POSIX_SPEC, mutated).accepted
+        assert not check_trace(LINUX_SPEC, mutated).accepted

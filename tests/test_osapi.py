@@ -1,0 +1,365 @@
+"""Tests for the OS API layer: the LTS, processes, descriptors."""
+
+import pytest
+
+from repro.core import commands as C
+from repro.core.errors import Errno
+from repro.core.flags import OpenFlag, SeekWhence
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsReturn,
+                               OsSignal, OsSpin, OsTau)
+from repro.core.platform import LINUX_SPEC, POSIX_SPEC
+from repro.core.values import (Err, Ok, RvBytes, RvDirEntry, RvNone, RvNum)
+from repro.osapi import (allowed_returns, initial_os_state, os_trans,
+                         tau_closure)
+from repro.osapi.os_state import SpecialOsState
+from repro.osapi.process import RsCalling, RsReturning, RsRunning
+
+O = OpenFlag
+SPEC = LINUX_SPEC
+
+
+def fresh(groups=None):
+    (s,) = os_trans(SPEC, initial_os_state(groups), OsCreate(1, 0, 0))
+    return s
+
+
+def run_call(state, cmd, pid=1, spec=SPEC):
+    """CALL + TAU, returning the set of outcome states."""
+    (s1,) = os_trans(spec, state, OsCall(pid, cmd))
+    return os_trans(spec, s1, OsTau())
+
+
+def rets(states, pid=1):
+    return {s.procs[pid].run.ret for s in states
+            if not isinstance(s, SpecialOsState)}
+
+
+def one_state(states, ret, pid=1):
+    for s in states:
+        if not isinstance(s, SpecialOsState) and \
+                s.procs[pid].run.ret == ret:
+            (s2,) = os_trans(SPEC, s, OsReturn(pid, ret))
+            return s2
+    raise AssertionError(f"no outcome with {ret}")
+
+
+class TestProcessLifecycle:
+    def test_create(self):
+        s = fresh()
+        assert 1 in s.procs
+        assert isinstance(s.procs[1].run, RsRunning)
+        assert s.procs[1].cwd == s.fs.root
+
+    def test_create_duplicate_pid_disallowed(self):
+        s = fresh()
+        assert os_trans(SPEC, s, OsCreate(1, 0, 0)) == frozenset()
+
+    def test_create_registers_group_membership(self):
+        s = fresh()
+        (s2,) = os_trans(SPEC, s, OsCreate(2, 1000, 100))
+        assert 1000 in s2.groups[100]
+        assert 100 in s2.procs[2].groups
+
+    def test_destroy(self):
+        s = fresh()
+        (s2,) = os_trans(SPEC, s, OsDestroy(1))
+        assert 1 not in s2.procs
+
+    def test_destroy_unknown_pid_disallowed(self):
+        s = fresh()
+        assert os_trans(SPEC, s, OsDestroy(9)) == frozenset()
+
+    def test_destroy_closes_fds(self):
+        s = fresh()
+        states = run_call(s, C.Open("f", O.O_CREAT | O.O_WRONLY, 0o644))
+        s = one_state(states, Ok(RvNum(3)))
+        assert len(s.fids) == 1
+        (s2,) = os_trans(SPEC, s, OsDestroy(1))
+        assert len(s2.fids) == 0
+
+    def test_call_requires_running(self):
+        s = fresh()
+        (s1,) = os_trans(SPEC, s, OsCall(1, C.Umask(0o022)))
+        # A second call while the first is pending is not allowed.
+        assert os_trans(SPEC, s1, OsCall(1, C.Umask(0o022))) == \
+            frozenset()
+
+    def test_return_must_match_pending(self):
+        s = fresh()
+        states = run_call(s, C.Mkdir("a", 0o755))
+        (pending,) = states
+        assert os_trans(SPEC, pending,
+                        OsReturn(1, Err(Errno.EPERM))) == frozenset()
+        (resumed,) = os_trans(SPEC, pending, OsReturn(1, Ok(RvNone())))
+        assert isinstance(resumed.procs[1].run, RsRunning)
+
+    def test_signal_and_spin_never_allowed(self):
+        s = fresh()
+        assert os_trans(SPEC, s, OsSignal(1, "SIGXFSZ")) == frozenset()
+        assert os_trans(SPEC, s, OsSpin(1)) == frozenset()
+
+    def test_special_state_absorbs_everything(self):
+        special = SpecialOsState("unspecified")
+        for label in (OsTau(), OsCall(1, C.Umask(0)), OsDestroy(1),
+                      OsSpin(1)):
+            assert os_trans(SPEC, special, label) == \
+                frozenset({special})
+
+
+class TestDescriptors:
+    def _open(self, s, path="f", flags=O.O_CREAT | O.O_RDWR,
+              mode=0o644):
+        states = run_call(s, C.Open(path, flags, mode))
+        fd_rets = [r for r in rets(states) if isinstance(r, Ok)]
+        assert len(fd_rets) == 1
+        fd = fd_rets[0].value.value
+        return one_state(states, fd_rets[0]), fd
+
+    def test_open_allocates_sequential_fds(self):
+        s = fresh()
+        s, fd1 = self._open(s, "f1")
+        s, fd2 = self._open(s, "f2")
+        assert (fd1, fd2) == (3, 4)
+
+    def test_close_frees(self):
+        s = fresh()
+        s, fd = self._open(s)
+        states = run_call(s, C.Close(fd))
+        s = one_state(states, Ok(RvNone()))
+        assert fd not in s.procs[1].fds
+        assert len(s.fids) == 0
+
+    def test_close_bad_fd(self):
+        s = fresh()
+        assert rets(run_call(s, C.Close(99))) == {Err(Errno.EBADF)}
+
+    def test_write_then_read_roundtrip(self):
+        s = fresh()
+        s, fd = self._open(s)
+        states = run_call(s, C.Write(fd, b"abc"))
+        # Partial writes allowed: 1..3 bytes.
+        assert {r.value.value for r in rets(states)
+                if isinstance(r, Ok)} == {1, 2, 3}
+        s = one_state(states, Ok(RvNum(3)))
+        states = run_call(s, C.Lseek(fd, 0, SeekWhence.SEEK_SET))
+        s = one_state(states, Ok(RvNum(0)))
+        states = run_call(s, C.Read(fd, 100))
+        reads = {r.value.data for r in rets(states) if isinstance(r, Ok)}
+        assert reads == {b"a", b"ab", b"abc"}  # partial reads allowed
+
+    def test_read_at_eof_returns_empty(self):
+        s = fresh()
+        s, fd = self._open(s)
+        assert rets(run_call(s, C.Read(fd, 10))) == \
+            {Ok(RvBytes(b""))}
+
+    def test_read_on_wronly_ebadf(self):
+        s = fresh()
+        s, fd = self._open(s, flags=O.O_CREAT | O.O_WRONLY)
+        assert rets(run_call(s, C.Read(fd, 4))) == {Err(Errno.EBADF)}
+
+    def test_write_on_rdonly_ebadf(self):
+        s = fresh()
+        s, fd = self._open(s, flags=O.O_CREAT | O.O_RDONLY)
+        assert rets(run_call(s, C.Write(fd, b"x"))) == \
+            {Err(Errno.EBADF)}
+
+    def test_write_zero_bytes_bad_fd_looseness(self):
+        s = fresh()
+        outcomes = rets(run_call(s, C.Write(99, b"")))
+        # Linux model: both EBADF and success-0 allowed (§7.2).
+        assert outcomes == {Err(Errno.EBADF), Ok(RvNum(0))}
+
+    def test_append_seeks_end(self):
+        s = fresh()
+        s, fd = self._open(s)
+        s = one_state(run_call(s, C.Write(fd, b"base")),
+                      Ok(RvNum(4)))
+        states = run_call(s, C.Open("f", O.O_WRONLY | O.O_APPEND,
+                                    0o644))
+        s = one_state(states, Ok(RvNum(4)))
+        s = one_state(run_call(s, C.Write(4, b"X")), Ok(RvNum(1)))
+        fref = s.fids[s.procs[1].fds[3]].target
+        assert s.fs.file(fref).content == b"baseX"
+
+    def test_pwrite_does_not_move_offset(self):
+        s = fresh()
+        s, fd = self._open(s)
+        s = one_state(run_call(s, C.Pwrite(fd, b"abc", 0)),
+                      Ok(RvNum(3)))
+        assert s.fids[s.procs[1].fds[fd]].offset == 0
+
+    def test_pwrite_negative_offset_einval(self):
+        s = fresh()
+        s, fd = self._open(s)
+        assert rets(run_call(s, C.Pwrite(fd, b"a", -1))) == \
+            {Err(Errno.EINVAL)}
+
+    def test_pread_negative_offset_einval(self):
+        s = fresh()
+        s, fd = self._open(s)
+        assert rets(run_call(s, C.Pread(fd, 1, -5))) == \
+            {Err(Errno.EINVAL)}
+
+    def test_linux_pwrite_append_ignores_offset(self):
+        # Platform convention §7.3.3.
+        s = fresh()
+        s, fd = self._open(s)
+        s = one_state(run_call(s, C.Write(fd, b"base")), Ok(RvNum(4)))
+        states = run_call(s, C.Open("f", O.O_WRONLY | O.O_APPEND,
+                                    0o644))
+        s = one_state(states, Ok(RvNum(4)))
+        s = one_state(run_call(s, C.Pwrite(4, b"ZZ", 0)), Ok(RvNum(2)))
+        fref = s.fids[s.procs[1].fds[3]].target
+        assert s.fs.file(fref).content == b"baseZZ"  # appended
+
+    def test_posix_pwrite_append_honours_offset(self):
+        s = fresh()
+        states = run_call(s, C.Open("f", O.O_CREAT | O.O_RDWR, 0o644),
+                          spec=POSIX_SPEC)
+        s = one_state(states, Ok(RvNum(3)))
+        s = one_state(run_call(s, C.Write(3, b"base"), spec=POSIX_SPEC),
+                      Ok(RvNum(4)))
+        states = run_call(s, C.Open("f", O.O_WRONLY | O.O_APPEND,
+                                    0o644), spec=POSIX_SPEC)
+        s = one_state(states, Ok(RvNum(4)))
+        s = one_state(run_call(s, C.Pwrite(4, b"ZZ", 0),
+                               spec=POSIX_SPEC), Ok(RvNum(2)))
+        fref = s.fids[s.procs[1].fds[3]].target
+        assert s.fs.file(fref).content == b"ZZse"
+
+    def test_lseek_whences(self):
+        s = fresh()
+        s, fd = self._open(s)
+        s = one_state(run_call(s, C.Write(fd, b"abcdef")),
+                      Ok(RvNum(6)))
+        s = one_state(run_call(s, C.Lseek(fd, 2, SeekWhence.SEEK_SET)),
+                      Ok(RvNum(2)))
+        s = one_state(run_call(s, C.Lseek(fd, 2, SeekWhence.SEEK_CUR)),
+                      Ok(RvNum(4)))
+        s = one_state(run_call(s, C.Lseek(fd, -1, SeekWhence.SEEK_END)),
+                      Ok(RvNum(5)))
+
+    def test_lseek_negative_einval(self):
+        s = fresh()
+        s, fd = self._open(s)
+        assert rets(run_call(s, C.Lseek(fd, -3,
+                                        SeekWhence.SEEK_SET))) == \
+            {Err(Errno.EINVAL)}
+
+    def test_read_on_directory_fd_eisdir(self):
+        s = fresh()
+        s = one_state(run_call(s, C.Mkdir("a", 0o755)), Ok(RvNone()))
+        states = run_call(s, C.Open("a", O.O_RDONLY, 0o644))
+        s = one_state(states, Ok(RvNum(3)))
+        assert rets(run_call(s, C.Read(3, 4))) == {Err(Errno.EISDIR)}
+
+
+class TestDirHandles:
+    def _with_dir(self):
+        s = fresh()
+        s = one_state(run_call(s, C.Mkdir("a", 0o755)), Ok(RvNone()))
+        states = run_call(s, C.Open("a/x", O.O_CREAT | O.O_WRONLY,
+                                    0o644))
+        s = one_state(states, Ok(RvNum(3)))
+        s = one_state(run_call(s, C.Close(3)), Ok(RvNone()))
+        return s
+
+    def test_opendir_allocates_handle(self):
+        s = self._with_dir()
+        s = one_state(run_call(s, C.Opendir("a")), Ok(RvNum(1)))
+        assert 1 in s.procs[1].dhs
+
+    def test_opendir_on_file_enotdir(self):
+        s = self._with_dir()
+        assert rets(run_call(s, C.Opendir("a/x"))) == \
+            {Err(Errno.ENOTDIR)}
+
+    def test_readdir_then_end(self):
+        s = self._with_dir()
+        s = one_state(run_call(s, C.Opendir("a")), Ok(RvNum(1)))
+        states = run_call(s, C.Readdir(1))
+        assert rets(states) == {Ok(RvDirEntry("x"))}
+        s = one_state(states, Ok(RvDirEntry("x")))
+        assert rets(run_call(s, C.Readdir(1))) == {Ok(RvDirEntry(None))}
+
+    def test_readdir_bad_handle_ebadf(self):
+        s = self._with_dir()
+        assert rets(run_call(s, C.Readdir(7))) == {Err(Errno.EBADF)}
+
+    def test_rewinddir(self):
+        s = self._with_dir()
+        s = one_state(run_call(s, C.Opendir("a")), Ok(RvNum(1)))
+        s = one_state(run_call(s, C.Readdir(1)), Ok(RvDirEntry("x")))
+        s = one_state(run_call(s, C.Rewinddir(1)), Ok(RvNone()))
+        assert rets(run_call(s, C.Readdir(1))) == {Ok(RvDirEntry("x"))}
+
+    def test_closedir(self):
+        s = self._with_dir()
+        s = one_state(run_call(s, C.Opendir("a")), Ok(RvNum(1)))
+        s = one_state(run_call(s, C.Closedir(1)), Ok(RvNone()))
+        assert rets(run_call(s, C.Readdir(1))) == {Err(Errno.EBADF)}
+
+    def test_handle_sees_other_process_changes(self):
+        # Another process unlinks an entry while the handle is open.
+        s = self._with_dir()
+        (s,) = os_trans(SPEC, s, OsCreate(2, 0, 0))
+        s = one_state(run_call(s, C.Opendir("a")), Ok(RvNum(1)))
+        s = one_state(run_call(s, C.Unlink("a/x"), pid=2),
+                      Ok(RvNone()), pid=2)
+        allowed = rets(run_call(s, C.Readdir(1)))
+        # x was deleted before being returned: may appear or end.
+        assert allowed == {Ok(RvDirEntry("x")), Ok(RvDirEntry(None))}
+
+
+class TestChdirUmask:
+    def test_chdir_changes_cwd(self):
+        s = fresh()
+        s = one_state(run_call(s, C.Mkdir("a", 0o755)), Ok(RvNone()))
+        s = one_state(run_call(s, C.Chdir("a")), Ok(RvNone()))
+        assert s.procs[1].cwd != s.fs.root
+        # Relative resolution now happens in "a".
+        states = run_call(s, C.Mkdir("sub", 0o755))
+        s = one_state(states, Ok(RvNone()))
+        a_ref = s.fs.lookup(s.fs.root, "a")
+        assert s.fs.lookup(a_ref, "sub") is not None
+
+    def test_chdir_to_file_enotdir(self):
+        s = fresh()
+        states = run_call(s, C.Open("f", O.O_CREAT | O.O_WRONLY,
+                                    0o644))
+        s = one_state(states, Ok(RvNum(3)))
+        assert rets(run_call(s, C.Chdir("f"))) == {Err(Errno.ENOTDIR)}
+
+    def test_umask_returns_old_value(self):
+        s = fresh()
+        states = run_call(s, C.Umask(0o077))
+        assert rets(states) == {Ok(RvNum(0o022))}  # default umask
+        s = one_state(states, Ok(RvNum(0o022)))
+        assert s.procs[1].umask == 0o077
+
+
+class TestConcurrency:
+    def test_two_in_flight_calls_interleave(self):
+        """Concurrency nondeterminism via state sets (paper section 3):
+        with two pending calls racing on the same name, the tau closure
+        tracks both execution orders."""
+        s = fresh()
+        (s,) = os_trans(SPEC, s, OsCreate(2, 0, 0))
+        (s,) = os_trans(SPEC, s, OsCall(1, C.Mkdir("x", 0o755)))
+        (s,) = os_trans(SPEC, s, OsCall(2, C.Mkdir("x", 0o755)))
+        closed = tau_closure(SPEC, frozenset({s}))
+        # In some interleavings p1 wins, in others p2 wins.
+        p1 = {st.procs[1].run.ret for st in closed
+              if isinstance(st.procs[1].run, RsReturning)}
+        p2 = {st.procs[2].run.ret for st in closed
+              if isinstance(st.procs[2].run, RsReturning)}
+        assert p1 == {Ok(RvNone()), Err(Errno.EEXIST)}
+        assert p2 == {Ok(RvNone()), Err(Errno.EEXIST)}
+
+    def test_allowed_returns_lists_pending(self):
+        s = fresh()
+        (s,) = os_trans(SPEC, s, OsCall(1, C.Rmdir("/")))
+        closed = tau_closure(SPEC, frozenset({s}))
+        allowed = allowed_returns(closed, 1)
+        assert {r.errno for r in allowed} == SPEC.rmdir_root_errors

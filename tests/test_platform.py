@@ -1,0 +1,92 @@
+"""Tests for the platform parameterisation (model variants and traits)."""
+
+import pytest
+
+from repro.core.errors import Errno
+from repro.core.platform import (FREEBSD_SPEC, LINUX_SPEC, OSX_SPEC,
+                                 POSIX_SPEC, LinkSymlinkBehaviour,
+                                 TimestampMode, spec_by_name,
+                                 with_timestamps, without_permissions)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert spec_by_name("linux") is LINUX_SPEC
+        assert spec_by_name("posix") is POSIX_SPEC
+        assert spec_by_name("osx") is OSX_SPEC
+        assert spec_by_name("freebsd") is FREEBSD_SPEC
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            spec_by_name("plan9")
+
+    def test_allows(self):
+        assert LINUX_SPEC.allows("linux", "posix")
+        assert not LINUX_SPEC.allows("osx")
+
+
+class TestVariantDifferences:
+    def test_unlink_dir_linux_lsb(self):
+        # Linux follows the LSB (EISDIR); POSIX mandates EPERM but the
+        # POSIX envelope admits both (paper section 7.3.2).
+        assert LINUX_SPEC.unlink_dir_errors == {Errno.EISDIR}
+        assert Errno.EPERM in OSX_SPEC.unlink_dir_errors
+        assert {Errno.EPERM, Errno.EISDIR} <= POSIX_SPEC.unlink_dir_errors
+
+    def test_rename_root_osx_eisdir(self):
+        assert OSX_SPEC.rename_root_errors == {Errno.EISDIR}
+        assert Errno.EBUSY in LINUX_SPEC.rename_root_errors
+
+    def test_link_trailing_slash_linux_eexist(self):
+        # link /dir/ /f.txt/ returns EEXIST on Linux (section 7.3.2).
+        assert Errno.EEXIST in LINUX_SPEC.link_trailing_slash_file_errors
+        assert OSX_SPEC.link_trailing_slash_file_errors == \
+            {Errno.ENOTDIR}
+
+    def test_link_on_symlink_modes(self):
+        assert LINUX_SPEC.link_on_symlink is \
+            LinkSymlinkBehaviour.LINK_THE_SYMLINK
+        assert OSX_SPEC.link_on_symlink is \
+            LinkSymlinkBehaviour.FOLLOW_THE_SYMLINK
+        assert POSIX_SPEC.link_on_symlink is LinkSymlinkBehaviour.EITHER
+
+    def test_freebsd_open_excl_dir_symlink(self):
+        assert FREEBSD_SPEC.open_excl_dir_symlink_errors == \
+            {Errno.ENOTDIR}
+        assert POSIX_SPEC.open_excl_dir_symlink_errors == {Errno.EEXIST}
+
+    def test_linux_pwrite_append_convention(self):
+        # Paper section 7.3.3: a deliberate, longstanding Linux
+        # deviation that the spec explicitly expresses.
+        assert LINUX_SPEC.pwrite_append_ignores_offset
+        assert not OSX_SPEC.pwrite_append_ignores_offset
+        assert not POSIX_SPEC.pwrite_append_ignores_offset
+
+    def test_posix_is_loosest_for_notempty(self):
+        assert POSIX_SPEC.notempty_errors == {Errno.ENOTEMPTY,
+                                              Errno.EEXIST}
+        assert LINUX_SPEC.notempty_errors == {Errno.ENOTEMPTY}
+
+    def test_symlink_modes(self):
+        assert LINUX_SPEC.symlink_default_mode == 0o777
+        assert OSX_SPEC.symlink_default_mode == 0o755
+        assert OSX_SPEC.symlink_umask_applies
+        assert not LINUX_SPEC.symlink_umask_applies
+
+
+class TestTraits:
+    def test_without_permissions(self):
+        spec = without_permissions(LINUX_SPEC)
+        assert not spec.permissions_enabled
+        assert LINUX_SPEC.permissions_enabled  # original untouched
+
+    def test_with_timestamps(self):
+        spec = with_timestamps(LINUX_SPEC)
+        assert spec.timestamps is TimestampMode.IMMEDIATE
+        assert LINUX_SPEC.timestamps is TimestampMode.OFF
+
+    def test_traits_compose(self):
+        spec = with_timestamps(without_permissions(OSX_SPEC))
+        assert not spec.permissions_enabled
+        assert spec.timestamps is TimestampMode.IMMEDIATE
+        assert spec.name == "osx"

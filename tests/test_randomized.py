@@ -1,0 +1,72 @@
+"""Tests for randomized test generation (paper sections 8-9)."""
+
+from repro.checker import check_trace
+from repro.core.platform import spec_by_name
+from repro.executor import execute_script
+from repro.fsimpl import Quirks
+from repro.script import parse_script, print_script
+from repro.testgen.randomized import random_script, random_suite
+
+
+class TestReproducibility:
+    def test_same_seed_same_script(self):
+        assert random_script(42) == random_script(42)
+
+    def test_different_seeds_differ(self):
+        assert random_script(1) != random_script(2)
+
+    def test_suite_seeds_distinct(self):
+        suite = random_suite(20)
+        assert len({s.name for s in suite}) == 20
+
+    def test_length_respected(self):
+        script = random_script(7, length=40)
+        assert script.call_count() == 40
+
+    def test_multi_process_scripts(self):
+        script = random_script(3, multi_process=True)
+        pids = {item.pid for item in script.items
+                if hasattr(item, "pid") and hasattr(item, "cmd")}
+        assert 2 in pids or 1 in pids  # pid 2 appears with prob > 0
+
+    def test_scripts_serialize(self):
+        for seed in range(10):
+            script = random_script(seed)
+            assert parse_script(print_script(script)) == script
+
+
+class TestOracleOnRandomScripts:
+    def test_random_scripts_check_clean_on_clean_kernel(self):
+        """The core soundness claim, exercised randomly: a quirk-free
+        kernel's behaviour always lies inside its platform's envelope.
+        """
+        for platform in ("linux", "osx", "freebsd", "posix"):
+            quirks = Quirks(name="clean", platform=platform)
+            spec = spec_by_name(platform)
+            for script in random_suite(15, base_seed=100, length=20):
+                trace = execute_script(quirks, script)
+                checked = check_trace(spec, trace)
+                assert checked.accepted, (platform, script.name,
+                                          checked.deviations)
+
+    def test_random_multiprocess_scripts_check_clean(self):
+        quirks = Quirks(name="clean", platform="linux")
+        spec = spec_by_name("linux")
+        for script in random_suite(10, base_seed=500, length=20,
+                                   multi_process=True):
+            trace = execute_script(quirks, script)
+            checked = check_trace(spec, trace)
+            assert checked.accepted, (script.name, checked.deviations)
+
+    def test_random_scripts_detect_quirky_kernel(self):
+        """Randomized testing finds an injected defect without any
+        crafted test: the SSHFS rename/link-count quirks surface."""
+        quirks = Quirks(name="buggy", platform="linux",
+                        dir_nlink_constant=1)
+        spec = spec_by_name("linux")
+        failures = 0
+        for script in random_suite(40, base_seed=900, length=25):
+            trace = execute_script(quirks, script)
+            if not check_trace(spec, trace).accepted:
+                failures += 1
+        assert failures > 0

@@ -1,0 +1,207 @@
+"""Tests for the script/trace parser and printer (paper Figs. 2-4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import commands as C
+from repro.core.errors import Errno
+from repro.core.flags import OpenFlag, SeekWhence
+from repro.core.labels import (OsCall, OsCreate, OsReturn, OsSignal,
+                               OsSpin)
+from repro.core.values import Err, Ok, RvBytes, RvDirEntry, RvNone, RvNum
+from repro.script import (ParseError, parse_command, parse_return,
+                          parse_script, parse_trace, print_script,
+                          print_trace)
+from repro.script.ast import CreateEvent, Script, ScriptStep, Trace, \
+    TraceEvent
+
+FIG2 = '''
+@type script
+# Test rename___rename_emptydir___nonemptydir
+mkdir "emptydir" 0o777
+mkdir "nonemptydir" 0o777
+open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666
+rename "emptydir" "nonemptydir"
+'''
+
+FIG3 = '''
+@type trace
+# Test rename___rename_emptydir___nonemptydir
+3: mkdir "emptydir" 0o777
+RV_none
+6: rename "emptydir" "nonemptydir"
+EPERM
+'''
+
+
+class TestScriptParsing:
+    def test_fig2_parses(self):
+        script = parse_script(FIG2)
+        assert script.name == "rename___rename_emptydir___nonemptydir"
+        assert script.call_count() == 4
+        assert script.target_function == "rename"
+
+    def test_commands_parsed_exactly(self):
+        script = parse_script(FIG2)
+        cmds = [item.cmd for item in script.items]
+        assert cmds[0] == C.Mkdir("emptydir", 0o777)
+        assert cmds[2] == C.Open(
+            "nonemptydir/f", OpenFlag.O_CREAT | OpenFlag.O_WRONLY,
+            0o666)
+        assert cmds[3] == C.Rename("emptydir", "nonemptydir")
+
+    def test_pid_prefix(self):
+        script = parse_script('@type script\np2: mkdir "a" 0o755\n')
+        (step,) = script.items
+        assert step.pid == 2
+
+    def test_process_directives(self):
+        script = parse_script(
+            "@type script\n@process create p2 uid=1000 gid=100\n"
+            "@process destroy p2\n")
+        assert script.items[0] == CreateEvent(2, 1000, 100)
+
+    def test_missing_header_raises(self):
+        with pytest.raises(ParseError):
+            parse_script('mkdir "a" 0o755\n')
+
+    def test_wrong_header_raises(self):
+        with pytest.raises(ParseError):
+            parse_script("@type trace\n")
+
+    def test_bad_arity_raises(self):
+        with pytest.raises(ParseError):
+            parse_script('@type script\nmkdir "a"\n')
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ParseError):
+            parse_script('@type script\nfrobnicate "a"\n')
+
+    def test_roundtrip(self):
+        script = parse_script(FIG2)
+        assert parse_script(print_script(script)) == script
+
+
+class TestReturnParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("RV_none", Ok(RvNone())),
+        ("RV_num(42)", Ok(RvNum(42))),
+        ("RV_num(-1)", Ok(RvNum(-1))),
+        ("RV_bytes('hi')", Ok(RvBytes(b"hi"))),
+        ("RV_entry('name')", Ok(RvDirEntry("name"))),
+        ("RV_end_of_dir", Ok(RvDirEntry(None))),
+        ("EPERM", Err(Errno.EPERM)),
+        ("ENOENT", Err(Errno.ENOENT)),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_return(text) == expected
+
+    def test_parse_stat(self):
+        ret = parse_return(
+            "RV_stat({kind=S_IFREG; size=7; nlink=2; uid=0; gid=0; "
+            "mode=0o644})")
+        stat = ret.value.stat
+        assert stat.size == 7 and stat.nlink == 2 and stat.mode == 0o644
+
+    def test_parse_stat_nlink_dash(self):
+        ret = parse_return(
+            "RV_stat({kind=S_IFDIR; size=0; nlink=-; uid=0; gid=0; "
+            "mode=0o755})")
+        assert ret.value.stat.nlink is None
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_return("RV_whatever")
+
+
+class TestTraceParsing:
+    def test_fig3_parses(self):
+        trace = parse_trace(FIG3)
+        labels = trace.labels()
+        assert labels[0] == OsCall(1, C.Mkdir("emptydir", 0o777))
+        assert labels[1] == OsReturn(1, Ok(RvNone()))
+        assert labels[3] == OsReturn(1, Err(Errno.EPERM))
+
+    def test_signal_and_spin(self):
+        trace = parse_trace(
+            "@type trace\np1: !signal SIGXFSZ\np2: !spin\n")
+        assert trace.labels() == [OsSignal(1, "SIGXFSZ"), OsSpin(2)]
+
+    def test_return_inherits_call_pid(self):
+        trace = parse_trace(
+            '@type trace\n1: p2: mkdir "a" 0o755\nRV_none\n')
+        assert trace.labels()[1] == OsReturn(2, Ok(RvNone()))
+
+    def test_roundtrip(self):
+        trace = parse_trace(FIG3)
+        assert parse_trace(print_trace(trace)).labels() == \
+            trace.labels()
+
+
+# -- property tests: parse . print == id over generated commands ----------
+
+_paths = st.text(
+    alphabet=st.sampled_from("abcd/._-"), min_size=1, max_size=12)
+_small = st.integers(0, 100)
+_mode = st.integers(0, 0o777)
+_data = st.text(alphabet=st.sampled_from("abcXYZ 123"), max_size=8) \
+    .map(lambda s: s.encode())
+
+_commands = st.one_of(
+    st.builds(C.Mkdir, _paths, _mode),
+    st.builds(C.Rmdir, _paths),
+    st.builds(C.Unlink, _paths),
+    st.builds(C.StatCmd, _paths),
+    st.builds(C.LstatCmd, _paths),
+    st.builds(C.Rename, _paths, _paths),
+    st.builds(C.Link, _paths, _paths),
+    st.builds(C.Symlink, _paths, _paths),
+    st.builds(C.Readlink, _paths),
+    st.builds(C.Truncate, _paths, st.integers(-5, 100)),
+    st.builds(C.Chmod, _paths, _mode),
+    st.builds(C.Chown, _paths, _small, _small),
+    st.builds(C.Chdir, _paths),
+    st.builds(C.Umask, st.integers(0, 0o777)),
+    st.builds(C.Close, _small),
+    st.builds(C.Read, _small, st.integers(-5, 100)),
+    st.builds(C.Write, _small, _data),
+    st.builds(C.Pread, _small, _small, st.integers(-5, 100)),
+    st.builds(C.Pwrite, _small, _data, st.integers(-5, 100)),
+    st.builds(C.Lseek, _small, st.integers(-100, 100),
+              st.sampled_from(list(SeekWhence))),
+    st.builds(C.Opendir, _paths),
+    st.builds(C.Readdir, _small),
+    st.builds(C.Rewinddir, _small),
+    st.builds(C.Closedir, _small),
+)
+
+
+@given(_commands)
+def test_command_roundtrip(cmd):
+    assert parse_command(cmd.render()) == cmd
+
+
+@given(st.lists(_commands, min_size=1, max_size=6),
+       st.integers(1, 3))
+def test_script_roundtrip(cmds, pid):
+    script = Script(name="generated", items=tuple(
+        ScriptStep(pid=pid, cmd=cmd) for cmd in cmds))
+    assert parse_script(print_script(script)) == script
+
+
+_returns = st.one_of(
+    st.just(Ok(RvNone())),
+    st.builds(lambda n: Ok(RvNum(n)), st.integers(-10, 1000)),
+    st.builds(lambda b: Ok(RvBytes(b)), _data),
+    st.builds(lambda e: Err(e), st.sampled_from(list(Errno))),
+    st.just(Ok(RvDirEntry(None))),
+    st.builds(lambda s: Ok(RvDirEntry(s)),
+              st.text(alphabet=st.sampled_from("abc"), min_size=1,
+                      max_size=5)),
+)
+
+
+@given(_returns)
+def test_return_roundtrip(ret):
+    assert parse_return(ret.render()) == ret

@@ -1,0 +1,128 @@
+"""Consistency between the situation catalogue and the resolver.
+
+Each :class:`PathSituation` declares the equivalence class its path is
+supposed to represent.  These tests build the scaffold state and verify
+that the *resolver agrees* — i.e. the property vectors are not just
+documentation but facts about the model.  (This is the check that keeps
+the equivalence partitioning honest; the paper's caveat that "the
+assumptions underlying equivalence partitioning" may be invalid applies
+to real file systems, but the catalogue must at least match the model.)
+"""
+
+import pytest
+
+from repro.core import commands as C
+from repro.core.flags import FileKind
+from repro.core.platform import LINUX_SPEC
+from repro.fsimpl.kernel import KernelFS
+from repro.fsimpl.quirks import Quirks
+from repro.pathres.resname import Follow, RnDir, RnError, RnFile, RnNone
+from repro.pathres.resolve import resolve
+from repro.perms.permissions import PermEnv
+from repro.script.parser import parse_command
+from repro.testgen.properties import Resolution
+from repro.testgen.situations import SCAFFOLD, SITUATIONS, CORE_KEYS, \
+    situation_by_key
+
+
+@pytest.fixture(scope="module")
+def scaffold_fs():
+    kernel = KernelFS(Quirks(name="scaffold", platform="linux",
+                             chroot_root_nlink_off_by_one=False))
+    kernel.create_process(1, 0, 0)
+    for line in SCAFFOLD:
+        kernel.call(1, parse_command(line))
+    return kernel.state.fs
+
+
+def _resolve(fs, path, follow=Follow.NOFOLLOW):
+    return resolve(LINUX_SPEC, fs, fs.root, path, follow, PermEnv())
+
+
+def _classify(fs, path):
+    """The Resolution class the resolver assigns to a path."""
+    rn = _resolve(fs, path)
+    if isinstance(rn, RnError):
+        return Resolution.ERROR
+    if isinstance(rn, RnNone):
+        if rn.dangling_symlink is not None:
+            return Resolution.DANGLING
+        return Resolution.NONE
+    if isinstance(rn, RnDir):
+        return Resolution.DIR
+    assert isinstance(rn, RnFile)
+    obj = fs.file(rn.fref)
+    if obj.kind is not FileKind.SYMLINK:
+        return Resolution.FILE
+    # A symlink object: classify by its (followed) target.
+    target = _resolve(fs, path, Follow.FOLLOW)
+    if isinstance(target, RnDir):
+        return Resolution.SYMLINK_DIR
+    if isinstance(target, RnFile):
+        if fs.file(target.fref).kind is FileKind.SYMLINK:
+            # Chain: classify through the chain's end (ssd -> sd -> d).
+            return Resolution.SYMLINK_DIR
+        return Resolution.SYMLINK_FILE
+    if isinstance(target, RnNone):
+        return Resolution.DANGLING
+    return Resolution.ERROR
+
+
+@pytest.mark.parametrize(
+    "situation", SITUATIONS, ids=lambda s: s.key)
+def test_situation_matches_declared_class(scaffold_fs, situation):
+    declared = situation.props.resolution
+    # Trailing-slash-on-symlink paths force following during nofollow
+    # resolution, so a declared SYMLINK_* class with ends_slash is
+    # observed through the followed object; treat those as their
+    # target's class.
+    observed = _classify(scaffold_fs, situation.path)
+    if declared in (Resolution.SYMLINK_DIR, Resolution.SYMLINK_FILE,
+                    Resolution.DANGLING) and situation.props.ends_slash:
+        acceptable = {
+            Resolution.SYMLINK_DIR: {Resolution.DIR,
+                                     Resolution.SYMLINK_DIR},
+            Resolution.SYMLINK_FILE: {Resolution.FILE,
+                                      Resolution.SYMLINK_FILE},
+            # dang/ resolves the dangling symlink: target missing.
+            Resolution.DANGLING: {Resolution.NONE, Resolution.DANGLING,
+                                  Resolution.ERROR},
+        }[declared]
+        assert observed in acceptable, (situation.path, observed)
+    else:
+        assert observed is declared, (situation.path, observed)
+
+
+@pytest.mark.parametrize(
+    "situation",
+    [s for s in SITUATIONS if not s.props.empty],
+    ids=lambda s: s.key)
+def test_trailing_slash_declared_correctly(scaffold_fs, situation):
+    assert situation.path.endswith("/") == situation.props.ends_slash
+
+
+@pytest.mark.parametrize(
+    "situation",
+    [s for s in SITUATIONS
+     if s.props.resolution is Resolution.DIR and not s.props.empty],
+    ids=lambda s: s.key)
+def test_dir_emptiness_declared_correctly(scaffold_fs, situation):
+    rn = _resolve(scaffold_fs, situation.path, Follow.FOLLOW)
+    assert isinstance(rn, RnDir), situation.path
+    assert scaffold_fs.is_empty_dir(rn.dref) == situation.props.dir_empty
+
+
+def test_core_keys_all_exist():
+    for key in CORE_KEYS:
+        situation_by_key(key)
+
+
+def test_scaffold_is_deterministic():
+    kernels = []
+    for _ in range(2):
+        k = KernelFS(Quirks(name="s", platform="linux"))
+        k.create_process(1, 0, 0)
+        for line in SCAFFOLD:
+            k.call(1, parse_command(line))
+        kernels.append(k.state.fs)
+    assert kernels[0] == kernels[1]

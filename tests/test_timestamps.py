@@ -1,0 +1,107 @@
+"""Tests for the timestamps trait (paper section 4).
+
+The trait updates mtime/ctime from the model's logical clock in
+immediate mode; with the trait off (the default, matching the paper's
+largely-untested status) metadata times stay at zero.
+"""
+
+from repro.core.platform import LINUX_SPEC, with_timestamps
+from repro.fsops.mkdir import fsop_mkdir
+from repro.fsops.truncate import fsop_truncate
+from repro.fsops.unlink import fsop_unlink
+from repro.pathres.resname import Follow
+
+from helpers import build_fs, env_for, rn, the_success
+
+TS_SPEC = with_timestamps(LINUX_SPEC)
+
+
+class TestTraitOff:
+    def test_mkdir_leaves_times_zero(self):
+        fs, refs = build_fs()
+        env = env_for(LINUX_SPEC)
+        out = the_success(fsop_mkdir(env, fs, rn(env, fs, "d/new"),
+                                     0o755))
+        assert out.state.dir(refs["d"]).meta.mtime == 0
+        assert out.state.clock == 0
+
+
+class TestImmediateMode:
+    def test_mkdir_touches_parent_mtime(self):
+        fs, refs = build_fs()
+        env = env_for(TS_SPEC)
+        out = the_success(fsop_mkdir(env, fs, rn(env, fs, "d/new"),
+                                     0o755))
+        meta = out.state.dir(refs["d"]).meta
+        assert meta.mtime > 0
+        assert meta.ctime == meta.mtime
+        assert out.state.clock > fs.clock
+
+    def test_unlink_touches_parent_mtime(self):
+        fs, refs = build_fs()
+        env = env_for(TS_SPEC)
+        out = the_success(fsop_unlink(env, fs, rn(env, fs, "d/f")))
+        assert out.state.dir(refs["d"]).meta.mtime > 0
+
+    def test_truncate_touches_file_mtime(self):
+        fs, refs = build_fs()
+        env = env_for(TS_SPEC)
+        out = the_success(fsop_truncate(
+            env, fs, rn(env, fs, "d/f", Follow.FOLLOW), 0))
+        assert out.state.file(refs["f"]).meta.mtime > 0
+
+    def test_clock_is_monotonic_across_operations(self):
+        fs, refs = build_fs()
+        env = env_for(TS_SPEC)
+        out1 = the_success(fsop_mkdir(env, fs, rn(env, fs, "n1"),
+                                      0o755))
+        fs1 = out1.state
+        out2 = the_success(fsop_mkdir(env, fs1, rn(env, fs1, "n2"),
+                                      0o755))
+        root1 = fs1.dir(fs1.root).meta.mtime
+        root2 = out2.state.dir(out2.state.root).meta.mtime
+        assert root2 > root1
+
+    def test_errors_do_not_touch_times(self):
+        # The error-invariance property extends to timestamps.
+        fs, refs = build_fs()
+        env = env_for(TS_SPEC)
+        outcomes = fsop_mkdir(env, fs, rn(env, fs, "d"), 0o755)
+        for out in outcomes:
+            assert out.state == fs
+
+    def test_kernel_with_timestamps_stays_in_envelope(self):
+        # End-to-end: a kernel running the timestamps trait still
+        # checks clean against the same trait's model.
+        import dataclasses
+        from repro.checker.checker import TraceChecker
+        from repro.executor import execute_script
+        from repro.fsimpl import KernelFS, Quirks
+        from repro.script import parse_script
+
+        quirks = Quirks(name="ts", platform="linux")
+        kernel_spec = with_timestamps(KernelFS(quirks).spec)
+        # Build a kernel whose spec carries the trait.
+        kernel = KernelFS(quirks)
+        kernel.spec = kernel_spec
+        script = parse_script(
+            "@type script\n# Test ts\n"
+            'mkdir "a" 0o755\nopen "a/f" [O_CREAT;O_WRONLY] 0o644\n'
+            'write 3 "x"\nclose 3\nunlink "a/f"\nrmdir "a"\n')
+        from repro.executor.executor import execute_script as _exec
+        # Execute manually against the trait-carrying kernel.
+        from repro.core.labels import OsCall, OsCreate, OsReturn
+        from repro.script.ast import ScriptStep, Trace, TraceEvent
+        kernel.create_process(1, 0, 0)
+        events = [TraceEvent(1, OsCreate(1, 0, 0))]
+        line = 1
+        for item in script.items:
+            assert isinstance(item, ScriptStep)
+            line += 1
+            events.append(TraceEvent(line, OsCall(1, item.cmd)))
+            ret = kernel.call(1, item.cmd)
+            line += 1
+            events.append(TraceEvent(line, OsReturn(1, ret)))
+        trace = Trace(name="ts", events=tuple(events))
+        checked = TraceChecker(kernel_spec).check(trace)
+        assert checked.accepted, checked.deviations
