@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Quickstart: SibylFS as a test oracle.
+"""Quickstart: SibylFS as a test oracle, driven through the Session API.
 
-Builds the paper's running example (Figs. 2-4): a script that renames an
-empty directory onto a non-empty one, executed on a defective SSHFS-like
-file system.  The oracle decides whether the observed trace is allowed
-by the model, and — when it is not — names the allowed results and keeps
-checking.
+Part 1 builds the paper's running example (Figs. 2-4): a script that
+renames an empty directory onto a non-empty one, executed on a defective
+SSHFS-like file system.  The oracle decides whether the observed trace
+is allowed by the model, and — when it is not — names the allowed
+results and keeps checking.
+
+Part 2 shows the same pipeline at suite scale through
+:class:`repro.Session`, the package's front door: one configured object
+executes and checks a generated suite exactly once and yields a
+:class:`repro.RunArtifact` that the summary, the HTML report and the
+CI-diffable JSON blob all render from.  (The old free functions such as
+``run_and_check`` still work, but are deprecated shims over the same
+engine.)
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (check_trace, execute_script, parse_script,
+from repro import (Session, check_trace, execute_script, parse_script,
                    render_checked_trace, spec_by_name, config_by_name,
                    print_trace)
 
@@ -24,7 +32,8 @@ rename "emptydir" "nonemptydir"
 """
 
 
-def main() -> None:
+def single_trace_oracle() -> None:
+    """Part 1: the paper's Figs. 2-4 on a single script."""
     script = parse_script(SCRIPT)
     print("The test script (paper Fig. 2):\n")
     print(SCRIPT)
@@ -43,6 +52,26 @@ def main() -> None:
         print(f"--- oracle verdict ({verdict}) "
               "(paper Fig. 4) ---")
         print(render_checked_trace(checked))
+
+
+def suite_pipeline() -> None:
+    """Part 2: the same pipeline at suite scale, via Session."""
+    print("--- suite run through repro.Session (one pass) ---")
+    with Session("linux_sshfs_tmpfs", model="posix",
+                 limit=60) as session:
+        artifact = session.run()
+    print(artifact.render_summary())
+
+    # Everything below reuses the SAME artifact — no re-execution:
+    html = artifact.render_html()
+    blob = artifact.to_json()
+    print(f"\nHTML report: {len(html)} chars; JSON artifact: "
+          f"{len(blob)} chars (round-trips for CI diffing)")
+
+
+def main() -> None:
+    single_trace_oracle()
+    suite_pipeline()
 
 
 if __name__ == "__main__":

@@ -15,15 +15,42 @@ al., SOSP 2015) in Python:
 * :mod:`repro.executor` and :mod:`repro.fsimpl` -- the test executor and
   the simulated implementations-under-test (~40 configurations
   reproducing the paper's survey, including its documented defects);
-* :mod:`repro.harness` -- suite runs, coverage, merging and reports.
+* :mod:`repro.harness` -- the pipeline engine (pluggable serial /
+  process-pool backends), coverage, merging and reports;
+* :mod:`repro.api` -- the :class:`Session` facade, the single front
+  door to the pipeline.
 
-Quick start::
+Quick start — run a suite through a :class:`Session` (one pipeline
+pass; every report renders from the same :class:`RunArtifact`)::
+
+    from repro import Session
+
+    with Session("linux_sshfs_tmpfs", model="posix", limit=100) as s:
+        artifact = s.run()
+    print(artifact.render_summary())
+    html = artifact.render_html()       # same pass, no re-run
+    blob = artifact.to_json()           # CI-diffable; round-trips
+
+Scale it with a persistent worker pool, or stream results::
+
+    from repro import ProcessPoolBackend, Session
+
+    with Session("linux_ext4", backend=ProcessPoolBackend(4)) as s:
+        for checked in s.iter_checked():
+            ...                         # yields as workers finish
+
+Check a single observed trace against the model oracle::
 
     from repro import check_trace, parse_trace, spec_by_name
 
     trace = parse_trace(open("some.trace").read())
     checked = check_trace(spec_by_name("linux"), trace)
     print(checked.accepted)
+
+The old free functions (``run_and_check``, ``check_traces``,
+``measure_coverage``, ``execute_suite``) remain as deprecated shims
+over the same engine and will keep working; new code should prefer
+:class:`Session`.
 """
 
 from repro.core import (Errno, OpenFlag, PlatformSpec, SeekWhence, Stat,
@@ -38,8 +65,10 @@ from repro.testgen import generate_suite
 from repro.harness import (measure_coverage, merge_results,
                            render_merge, render_suite_result,
                            render_summary_table, run_and_check)
+from repro.api import (Backend, ProcessPoolBackend, RunArtifact,
+                       SerialBackend, Session, survey)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Errno", "OpenFlag", "PlatformSpec", "SeekWhence", "Stat",
@@ -51,5 +80,7 @@ __all__ = [
     "generate_suite",
     "measure_coverage", "merge_results", "render_merge",
     "render_suite_result", "render_summary_table", "run_and_check",
+    "Backend", "ProcessPoolBackend", "RunArtifact", "SerialBackend",
+    "Session", "survey",
     "__version__",
 ]

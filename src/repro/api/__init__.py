@@ -1,0 +1,32 @@
+"""The unified pipeline API: the package's single front door.
+
+Everything the old bag of free functions did — run a suite, check the
+traces, render reports, measure coverage, survey configurations — goes
+through a :class:`Session` configured once::
+
+    from repro.api import Session
+
+    with Session("linux_sshfs_tmpfs", model="posix", limit=100) as s:
+        artifact = s.run()
+    print(artifact.render_summary())
+    html = artifact.render_html()          # same pass, no re-run
+    blob = artifact.to_json()              # CI-diffable
+
+Execution and checking are delegated to a pluggable
+:class:`~repro.harness.backends.Backend` (:class:`SerialBackend` or the
+persistent :class:`ProcessPoolBackend`), and results can be streamed via
+:meth:`Session.iter_checked`.  The old free functions
+(``run_and_check``, ``check_traces``, ``measure_coverage``, …) remain as
+deprecated shims over this machinery.
+"""
+
+from repro.api.artifact import FORMAT_VERSION, RunArtifact
+from repro.api.session import Session, survey
+from repro.harness.backends import (Backend, CheckOutcome,
+                                    ProcessPoolBackend, SerialBackend,
+                                    make_backend)
+
+__all__ = [
+    "Backend", "CheckOutcome", "FORMAT_VERSION", "ProcessPoolBackend",
+    "RunArtifact", "SerialBackend", "Session", "make_backend", "survey",
+]

@@ -1,0 +1,182 @@
+"""Structured, serialisable artifacts of one pipeline run.
+
+A :class:`RunArtifact` is everything one execute-and-check pass over a
+suite produced — the observed traces, the checked results, phase
+timings, and (optionally) the specification clauses covered — in a form
+every consumer renders from: the CLI summary, the HTML report, CI
+baselines, surveys and merges all read the *same* artifact instead of
+re-running the pipeline.
+
+Artifacts serialise to JSON (``to_json``/``from_json``) for CI diffing;
+traces are stored in the paper's trace file format (Fig. 3), which
+round-trips exactly, so ``RunArtifact.from_json(a.to_json()) == a``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Tuple
+
+from repro.checker.checker import CheckedTrace, Deviation
+from repro.core.coverage import REGISTRY, CoverageReport
+from repro.harness.html import render_artifact_html
+from repro.harness.report import render_suite_result
+from repro.harness.run import SuiteResult, TraceFailure
+from repro.script.parser import parse_trace
+from repro.script.printer import print_trace
+
+#: Bumped when the JSON layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunArtifact:
+    """The product of one :class:`repro.api.Session` pipeline pass."""
+
+    config: str
+    model: str
+    #: Descriptor of the backend that produced this artifact
+    #: (e.g. ``"serial"`` or ``"process[4]"``); informational only.
+    backend: str
+    checked: Tuple[CheckedTrace, ...]
+    #: Per-trace target function, parallel to ``checked`` (from the
+    #: scripts; traces alone do not record what they were testing).
+    target_functions: Tuple[str, ...]
+    exec_seconds: float
+    check_seconds: float
+    coverage_collected: bool = False
+    #: Sorted clause names covered by the checking phase (empty unless
+    #: the session collected coverage).
+    covered_clauses: Tuple[str, ...] = ()
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.checked)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for c in self.checked if c.accepted)
+
+    @property
+    def failing(self) -> Tuple[TraceFailure, ...]:
+        return tuple(
+            TraceFailure(trace_name=c.trace.name,
+                         target_function=target,
+                         deviations=c.deviations)
+            for c, target in zip(self.checked, self.target_functions)
+            if not c.accepted)
+
+    @property
+    def check_rate(self) -> float:
+        """Traces checked per second (the paper reports 266/s)."""
+        if self.check_seconds == 0:
+            return float("inf")
+        return self.total / self.check_seconds
+
+    @property
+    def suite_result(self) -> SuiteResult:
+        """The legacy :class:`SuiteResult` view of this artifact, for
+        the renderers, merge and CI baseline machinery."""
+        return SuiteResult(config=self.config, model=self.model,
+                           total=self.total, failing=self.failing,
+                           exec_seconds=self.exec_seconds,
+                           check_seconds=self.check_seconds)
+
+    def coverage_report(self) -> CoverageReport:
+        """Model coverage of the checking phase (section 7.2)."""
+        if not self.coverage_collected:
+            raise ValueError(
+                "coverage was not collected for this run; create the "
+                "Session with collect_coverage=True")
+        return REGISTRY.report_for(self.covered_clauses,
+                                   platform=self.model)
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_summary(self) -> str:
+        """The plain-text acceptance summary (CLI output)."""
+        return render_suite_result(self.suite_result)
+
+    def render_html(self, title: str | None = None) -> str:
+        """The self-contained HTML report — from the *same* checked
+        results as the summary (no second pipeline pass)."""
+        return render_artifact_html(self, title)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_json(self, indent: int | None = None) -> str:
+        payload = {
+            "format": FORMAT_VERSION,
+            "config": self.config,
+            "model": self.model,
+            "backend": self.backend,
+            "exec_seconds": self.exec_seconds,
+            "check_seconds": self.check_seconds,
+            "coverage_collected": self.coverage_collected,
+            "covered_clauses": list(self.covered_clauses),
+            "traces": [
+                {
+                    "target_function": target,
+                    "trace": print_trace(c.trace),
+                    "max_state_set": c.max_state_set,
+                    "labels_checked": c.labels_checked,
+                    "pruned": c.pruned,
+                    "deviations": [
+                        {
+                            "line_no": d.line_no,
+                            "kind": d.kind,
+                            "observed": d.observed,
+                            "allowed": list(d.allowed),
+                            "message": d.message,
+                        }
+                        for d in c.deviations
+                    ],
+                }
+                for c, target in zip(self.checked, self.target_functions)
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        payload = json.loads(text)
+        version = payload.get("format")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported artifact format: {version!r}")
+        checked = []
+        targets = []
+        for row in payload["traces"]:
+            deviations = tuple(
+                Deviation(line_no=d["line_no"], kind=d["kind"],
+                          observed=d["observed"],
+                          allowed=tuple(d["allowed"]),
+                          message=d["message"])
+                for d in row["deviations"])
+            checked.append(CheckedTrace(
+                trace=parse_trace(row["trace"]),
+                deviations=deviations,
+                max_state_set=row["max_state_set"],
+                labels_checked=row["labels_checked"],
+                pruned=row["pruned"]))
+            targets.append(row["target_function"])
+        return cls(config=payload["config"], model=payload["model"],
+                   backend=payload["backend"],
+                   checked=tuple(checked),
+                   target_functions=tuple(targets),
+                   exec_seconds=payload["exec_seconds"],
+                   check_seconds=payload["check_seconds"],
+                   coverage_collected=payload["coverage_collected"],
+                   covered_clauses=tuple(payload["covered_clauses"]))
+
+    def save(self, path: str | pathlib.Path,
+             indent: int | None = 2) -> None:
+        """Write the artifact to disk (for CI diffing)."""
+        pathlib.Path(path).write_text(self.to_json(indent=indent) + "\n")
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "RunArtifact":
+        return cls.from_json(pathlib.Path(path).read_text())

@@ -1,0 +1,205 @@
+"""The Session facade: configure once, run the pipeline once.
+
+The paper positions oracle-based testing as usable "routinely (with low
+effort for the user)" in development and CI.  A :class:`Session` is that
+routine entry point: configured once with a configuration, model
+variant, suite and backend, it generates, executes and checks **exactly
+once**, caching each stage so every consumer — summary, HTML report,
+coverage, CI baseline, survey merge — renders from the same
+:class:`RunArtifact` instead of re-running the pipeline (the old CLI
+executed and checked the whole suite twice for ``run --html``).
+
+Streaming: ``iter_checked()`` yields each :class:`CheckedTrace` as the
+backend completes it, with an optional progress callback — the shape
+long CI runs and future async/sharded backends plug into.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import time
+
+from repro.api.artifact import RunArtifact
+from repro.checker.checker import CheckedTrace
+from repro.fsimpl.configs import ALL_CONFIGS, config_by_name
+from repro.fsimpl.quirks import Quirks
+from repro.harness.backends import (Backend, CheckOutcome, ProgressFn,
+                                    SerialBackend, owned_backend)
+from repro.script.ast import Script, Trace
+from repro.testgen.suite import generate_suite
+
+
+class Session:
+    """One configured pass of the test-and-check pipeline.
+
+    Parameters
+    ----------
+    config:
+        Configuration name (e.g. ``"linux_ext4"``) or a
+        :class:`Quirks` instance.
+    model:
+        Model variant to check against; defaults to the configuration's
+        platform.
+    scale / limit:
+        Suite generation knobs (ignored when ``suite`` is given):
+        ``scale`` multiplies the generated population, ``limit`` caps it.
+    suite:
+        An explicit script suite, e.g. to share one generated suite
+        across the many sessions of a survey.
+    backend:
+        A :class:`repro.harness.backends.Backend`; defaults to a private
+        :class:`SerialBackend`.  A backend passed in explicitly is
+        *shared* — the session will not close it.
+    collect_coverage:
+        Record which specification clauses the checking phase covers
+        (needed for :meth:`RunArtifact.coverage_report`).
+    """
+
+    def __init__(self, config: str | Quirks,
+                 model: Optional[str] = None, *,
+                 scale: int = 1, limit: int = 0,
+                 suite: Optional[Sequence[Script]] = None,
+                 backend: Optional[Backend] = None,
+                 collect_coverage: bool = False) -> None:
+        self.quirks = (config if isinstance(config, Quirks)
+                       else config_by_name(config))
+        self.model = model or self.quirks.platform
+        self.scale = scale
+        self.limit = limit
+        self.backend = backend if backend is not None else SerialBackend()
+        self._owns_backend = backend is None
+        self.collect_coverage = collect_coverage
+        self._suite: Optional[Tuple[Script, ...]] = (
+            tuple(suite) if suite is not None else None)
+        self._traces: Optional[Tuple[Trace, ...]] = None
+        self._exec_seconds: Optional[float] = None
+        self._artifact: Optional[RunArtifact] = None
+
+    # -- cached pipeline stages -----------------------------------------------
+
+    @property
+    def suite(self) -> Tuple[Script, ...]:
+        """The script suite (generated once on first access)."""
+        if self._suite is None:
+            scripts = generate_suite(scale=self.scale)
+            if self.limit:
+                scripts = scripts[: self.limit]
+            self._suite = tuple(scripts)
+        return self._suite
+
+    @property
+    def traces(self) -> Tuple[Trace, ...]:
+        """The observed traces (suite executed once on first access)."""
+        if self._traces is None:
+            t0 = time.perf_counter()
+            self._traces = tuple(
+                self.backend.execute_iter(self.quirks, self.suite))
+            self._exec_seconds = time.perf_counter() - t0
+        return self._traces
+
+    # -- running --------------------------------------------------------------
+
+    def iter_checked(self, progress: Optional[ProgressFn] = None
+                     ) -> Iterator[CheckedTrace]:
+        """Stream checked traces as the backend completes them.
+
+        Consuming every item (with or without driving the iterator to
+        ``StopIteration``) caches the :class:`RunArtifact`, so a
+        subsequent :meth:`run` is free.  An abandoned partial iteration
+        caches nothing but the executed traces.
+        """
+        if self._artifact is not None:
+            total = self._artifact.total
+            for done, checked in enumerate(self._artifact.checked, 1):
+                if progress is not None:
+                    progress(done, total, checked)
+                yield checked
+            return
+
+        traces = self.traces
+        outcomes: List[CheckOutcome] = []
+        t0 = time.perf_counter()
+        for outcome in self.backend.check_iter(
+                self.model, traces,
+                collect_coverage=self.collect_coverage):
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(len(outcomes), len(traces), outcome.checked)
+            if len(outcomes) == len(traces):
+                # Finalize before yielding the last item: a consumer
+                # that stops at exactly the last trace (zip, islice,
+                # next()-counting) must still leave the artifact
+                # cached, or a later run() would re-check everything.
+                self._finalize(outcomes, time.perf_counter() - t0)
+            yield outcome.checked
+        if self._artifact is None:  # empty suite: the loop never ran
+            self._finalize(outcomes, time.perf_counter() - t0)
+
+    def _finalize(self, outcomes: List[CheckOutcome],
+                  check_seconds: float) -> None:
+        covered: set = set()
+        for outcome in outcomes:
+            covered |= outcome.covered
+        self._artifact = RunArtifact(
+            config=self.quirks.name, model=self.model,
+            backend=self.backend.name,
+            checked=tuple(o.checked for o in outcomes),
+            target_functions=tuple(s.target_function
+                                   for s in self.suite),
+            exec_seconds=self._exec_seconds or 0.0,
+            check_seconds=check_seconds,
+            coverage_collected=self.collect_coverage,
+            covered_clauses=tuple(sorted(covered)))
+
+    def run(self, progress: Optional[ProgressFn] = None) -> RunArtifact:
+        """Run the pipeline (once) and return its artifact.
+
+        Repeated calls return the cached artifact without re-executing
+        or re-checking anything.
+        """
+        if self._artifact is None:
+            for _ in self.iter_checked(progress=progress):
+                pass
+        assert self._artifact is not None
+        return self._artifact
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend, if this session owns it."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def survey(configs: Optional[Sequence[str | Quirks]] = None, *,
+           suite: Optional[Sequence[Script]] = None,
+           scale: int = 1, limit: int = 0,
+           backend: Optional[Backend] = None,
+           collect_coverage: bool = False) -> List[RunArtifact]:
+    """Run the pipeline across many configurations, sharing the work.
+
+    The suite is generated once and the backend (with its caches and
+    worker pool) is shared by every per-configuration session — the
+    section 7.3 survey as a single API call.
+    """
+    quirks = [q if isinstance(q, Quirks) else config_by_name(q)
+              for q in configs] if configs is not None else \
+        list(ALL_CONFIGS)
+    if suite is None:
+        scripts: Sequence[Script] = generate_suite(scale=scale)
+        if limit:
+            scripts = scripts[: limit]
+        suite = scripts
+    with owned_backend(backend) as shared:
+        return [
+            Session(q, suite=suite, backend=shared,
+                    collect_coverage=collect_coverage).run()
+            for q in quirks
+        ]

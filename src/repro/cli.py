@@ -15,6 +15,12 @@ packages the pipeline accordingly::
     python -m repro debug TRACE --model posix
     python -m repro configs
 
+Suite-level commands (``run``, ``survey``, ``coverage``) are thin
+wrappers over :class:`repro.api.Session`: one pipeline pass produces a
+:class:`repro.api.RunArtifact` that the text summary, the HTML report
+(``--html``) and the JSON artifact (``--artifact``) are all rendered
+from.  ``--processes``/``--chunksize`` select the process-pool backend.
+
 Exit status: 0 if everything checked conformant, 1 otherwise (suitable
 for CI).
 """
@@ -26,18 +32,16 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from repro.api import Session, make_backend, survey
 from repro.checker import TraceChecker, render_checked_trace
 from repro.core.platform import SPECS, spec_by_name
 from repro.executor import execute_script
 from repro.fsimpl import ALL_CONFIGS, config_by_name
-from repro.harness import (measure_coverage, merge_results, render_merge,
-                           render_suite_result, render_summary_table,
-                           run_and_check)
+from repro.harness import (merge_results, render_merge,
+                           render_summary_table)
 from repro.harness.debug import debug_trace, render_debug
-from repro.harness.html import render_html_report
 from repro.harness.portability import analyse_portability
 from repro.harness.reduce import reduce_script
-from repro.harness.run import check_traces, execute_suite
 from repro.script import (parse_script, parse_trace, print_script,
                           print_trace)
 from repro.testgen import generate_suite
@@ -45,6 +49,15 @@ from repro.testgen import generate_suite
 
 def _read(path: str) -> str:
     return pathlib.Path(path).read_text()
+
+
+def _progress_printer(total_hint: str = "traces"):
+    """A Session progress callback writing a live counter to stderr."""
+    def progress(done: int, total: int, _checked) -> None:
+        end = "\n" if done == total else "\r"
+        print(f"checked {done}/{total} {total_hint}",
+              file=sys.stderr, end=end, flush=True)
+    return progress
 
 
 def _cmd_check(args) -> int:
@@ -78,40 +91,43 @@ def _cmd_gen(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    suite = generate_suite(scale=args.scale)
-    if args.limit:
-        suite = suite[: args.limit]
-    result = run_and_check(args.config, suite, model=args.model,
-                           processes=args.processes)
-    print(render_suite_result(result))
+    with make_backend(args.processes,
+                      chunksize=args.chunksize) as backend:
+        session = Session(args.config, model=args.model,
+                          scale=args.scale, limit=args.limit,
+                          backend=backend)
+        artifact = session.run(
+            progress=_progress_printer() if args.progress else None)
+    # Every output below renders from this one artifact: the suite was
+    # executed and checked exactly once.
+    print(artifact.render_summary())
     if args.html:
-        quirks = config_by_name(args.config)
-        traces = execute_suite(quirks, suite)
-        checked = check_traces(result.model, traces,
-                               processes=args.processes)
-        pathlib.Path(args.html).write_text(render_html_report(
-            f"{args.config} vs {result.model} model", checked))
+        pathlib.Path(args.html).write_text(artifact.render_html())
         print(f"HTML report written to {args.html}")
-    return 0 if not result.failing else 1
+    if args.artifact:
+        artifact.save(args.artifact)
+        print(f"JSON artifact written to {args.artifact}")
+    return 0 if not artifact.failing else 1
 
 
 def _cmd_survey(args) -> int:
-    suite = generate_suite()
-    if args.limit:
-        suite = suite[: args.limit]
-    configs = ([config_by_name(n) for n in args.configs.split(",")]
-               if args.configs else ALL_CONFIGS)
-    results = [run_and_check(cfg, suite, processes=args.processes)
-               for cfg in configs]
-    print(render_summary_table(results))
+    configs = (args.configs.split(",") if args.configs
+               else [cfg.name for cfg in ALL_CONFIGS])
+    with make_backend(args.processes,
+                      chunksize=args.chunksize) as backend:
+        artifacts = survey(configs, limit=args.limit, backend=backend)
+    print(render_summary_table([a.suite_result for a in artifacts]))
     print()
-    print(render_merge(merge_results(results)))
+    print(render_merge(merge_results(artifacts)))
     return 0
 
 
 def _cmd_coverage(args) -> int:
-    suite = generate_suite()
-    report = measure_coverage(args.config, suite, model=args.model)
+    with make_backend(args.processes,
+                      chunksize=args.chunksize) as backend:
+        session = Session(args.config, model=args.model,
+                          backend=backend, collect_coverage=True)
+        report = session.run().coverage_report()
     print(report.render())
     return 0
 
@@ -148,6 +164,15 @@ def _cmd_configs(_args) -> int:
     return 0
 
 
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--processes", type=int, default=1,
+                        help="worker processes (>1 selects the "
+                             "process-pool backend)")
+    parser.add_argument("--chunksize", type=int, default=None,
+                        help="traces per worker chunk (default: "
+                             "derived from the suite size)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -174,13 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_gen)
 
     p = sub.add_parser("run", help="generate, execute and check a "
-                                   "whole suite")
+                                   "whole suite (one pass)")
     p.add_argument("--config", required=True)
     p.add_argument("--model", default=None)
     p.add_argument("--scale", type=int, default=1)
     p.add_argument("--limit", type=int, default=0)
-    p.add_argument("--processes", type=int, default=1)
-    p.add_argument("--html", default=None)
+    _add_backend_flags(p)
+    p.add_argument("--html", default=None,
+                   help="also write an HTML report (same pass)")
+    p.add_argument("--artifact", default=None,
+                   help="also write the RunArtifact as JSON (for CI "
+                        "diffing)")
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-trace progress to stderr")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("survey", help="run all configurations and "
@@ -188,12 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--configs", default=None,
                    help="comma-separated subset")
     p.add_argument("--limit", type=int, default=0)
-    p.add_argument("--processes", type=int, default=1)
+    _add_backend_flags(p)
     p.set_defaults(func=_cmd_survey)
 
     p = sub.add_parser("coverage", help="measure model coverage")
     p.add_argument("--config", default="linux_ext4")
     p.add_argument("--model", default=None)
+    _add_backend_flags(p)
     p.set_defaults(func=_cmd_coverage)
 
     p = sub.add_parser("portability",

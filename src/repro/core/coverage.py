@@ -74,9 +74,30 @@ class CoverageRegistry:
         """Cheaply disable recording (for performance benchmarks)."""
         self._enabled = enabled
 
+    def hit_names(self) -> FrozenSet[str]:
+        """The clauses hit since the last reset.
+
+        This is how per-process coverage travels: a worker resets,
+        checks a trace, and ships the hit set back to the parent, which
+        unions the sets and reports via :meth:`report_for`.
+        """
+        return frozenset(name for name, point in self._points.items()
+                         if point.hits > 0)
+
     # -- reporting -----------------------------------------------------------
     def report(self, platform: str | None = None) -> "CoverageReport":
         """Compute coverage, restricted to clauses relevant for a platform."""
+        return self.report_for(self.hit_names(), platform)
+
+    def report_for(self, covered: Iterable[str],
+                   platform: str | None = None) -> "CoverageReport":
+        """Coverage report from an externally collected hit set.
+
+        Unlike :meth:`report` this reads no hit counts, so results
+        gathered in worker processes (whose registries are separate)
+        can be reported without mutating this registry.
+        """
+        covered_set = set(covered)
         relevant = []
         for point in self._points.values():
             if not point.reachable:
@@ -85,12 +106,12 @@ class CoverageRegistry:
                     and platform not in point.platforms):
                 continue
             relevant.append(point)
-        covered = [p.name for p in relevant if p.hits > 0]
-        uncovered = [p.name for p in relevant if p.hits == 0]
         return CoverageReport(
             total=len(relevant),
-            covered=sorted(covered),
-            uncovered=sorted(uncovered),
+            covered=sorted(p.name for p in relevant
+                           if p.name in covered_set),
+            uncovered=sorted(p.name for p in relevant
+                             if p.name not in covered_set),
         )
 
     @property

@@ -1,14 +1,21 @@
 """Test-and-check harness and result analysis (paper Fig. 1, section 7).
 
-``run`` executes a script suite on a configuration and checks the traces
-against a model variant (optionally with worker processes, as in the
-paper's 4-process checking runs); ``results``/``merge``/``report``
-aggregate, combine and render results across configurations; ``coverage``
-measures specification coverage (section 7.2).
+``backends`` is the engine: pluggable serial / process-pool execution
+and checking shared by :class:`repro.api.Session` and by the deprecated
+free functions here (``run_and_check``, ``check_traces``, …, kept as
+thin shims); ``results``/``merge``/``report`` aggregate, combine and
+render results across configurations; ``coverage`` measures
+specification coverage (section 7.2).
 """
 
-from repro.harness.run import (SuiteResult, TraceFailure, check_traces,
-                               execute_suite, run_and_check)
+from repro.harness.backends import (Backend, CheckOutcome, PipelineRun,
+                                    ProcessPoolBackend, SerialBackend,
+                                    make_backend, owned_backend,
+                                    run_pipeline)
+from repro.harness.run import (SuiteResult, TraceFailure,
+                               as_suite_result, check_traces,
+                               execute_suite, run_and_check,
+                               suite_result_from)
 from repro.harness.coverage import measure_coverage
 from repro.harness.merge import DeviationRecord, merge_results
 from repro.harness.report import (render_merge, render_suite_result,
@@ -18,22 +25,24 @@ from repro.harness.portability import (PortabilityReport,
                                        analyse_portability)
 from repro.harness.reduce import (is_one_minimal, reduce_script,
                                   script_fails)
-from repro.harness.html import render_html_report
+from repro.harness.html import render_artifact_html, render_html_report
 from repro.harness.differential import (Difference, DifferentialResult,
                                          differential_run)
 from repro.harness.ci import (RegressionReport, compare_to_baseline,
                               save_baseline)
 
 __all__ = [
-    "SuiteResult", "TraceFailure", "check_traces", "execute_suite",
-    "run_and_check",
+    "Backend", "CheckOutcome", "PipelineRun", "ProcessPoolBackend",
+    "SerialBackend", "make_backend", "owned_backend", "run_pipeline",
+    "SuiteResult", "TraceFailure", "as_suite_result", "check_traces",
+    "execute_suite", "run_and_check", "suite_result_from",
     "measure_coverage",
     "DeviationRecord", "merge_results",
     "render_merge", "render_suite_result", "render_summary_table",
     "DebugStep", "debug_trace", "render_debug",
     "PortabilityReport", "analyse_portability",
     "is_one_minimal", "reduce_script", "script_fails",
-    "render_html_report",
+    "render_artifact_html", "render_html_report",
     "Difference", "DifferentialResult", "differential_run",
     "RegressionReport", "compare_to_baseline", "save_baseline",
 ]

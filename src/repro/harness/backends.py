@@ -1,0 +1,353 @@
+"""Pluggable execution/checking backends: the pipeline engine.
+
+The paper's pipeline (Fig. 1) has two embarrassingly parallel phases —
+executing a script suite and checking the observed traces — and reports
+running the checking phase over 4 worker processes (section 7.1).  This
+module factors both phases behind a small :class:`Backend` protocol so
+that every consumer (the :class:`repro.api.Session` facade, the
+deprecated free functions, the CLI) shares one engine:
+
+* :class:`SerialBackend` runs in-process and caches one
+  :class:`TraceChecker` per model variant;
+* :class:`ProcessPoolBackend` keeps a *persistent* worker pool across
+  calls; each worker caches its checker per model, and results are
+  returned in full and keyed by index (duplicate trace names cannot
+  collide).  Workers exchange trace *text*, mirroring the paper's
+  process-per-trace architecture.
+
+Backends yield results as they complete, which is what makes
+``Session.iter_checked()`` a true streaming iterator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import multiprocessing
+import time
+from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Sequence, Tuple)
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.checker.checker import CheckedTrace, TraceChecker
+from repro.core.coverage import REGISTRY
+from repro.core.platform import spec_by_name
+from repro.executor.executor import execute_script
+from repro.fsimpl.quirks import Quirks
+from repro.script.ast import Script, Trace
+from repro.script.parser import parse_trace
+from repro.script.printer import print_trace
+
+#: Progress callback: ``(completed, total, last_checked_trace)``.
+ProgressFn = Callable[[int, int, CheckedTrace], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckOutcome:
+    """One checked trace, plus the specification clauses it covered.
+
+    ``covered`` is empty unless coverage collection was requested; with
+    a process backend it is how per-worker coverage hits travel back to
+    the parent process.
+    """
+
+    checked: CheckedTrace
+    covered: FrozenSet[str] = frozenset()
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Where the pipeline's two parallel phases actually run."""
+
+    #: Short descriptor recorded in artifacts (e.g. ``"serial"``).
+    name: str
+
+    def execute_iter(self, quirks: Quirks,
+                     scripts: Sequence[Script]) -> Iterator[Trace]:
+        """Execute scripts on fresh instances of a configuration,
+        yielding traces in script order as they complete."""
+        ...
+
+    def check_iter(self, model: str, traces: Sequence[Trace], *,
+                   collect_coverage: bool = False
+                   ) -> Iterator[CheckOutcome]:
+        """Check traces against a model variant, yielding outcomes in
+        trace order as they complete."""
+        ...
+
+    def close(self) -> None:
+        """Release any held resources (worker pools)."""
+        ...
+
+
+class _BackendBase:
+    """Context-manager plumbing shared by the concrete backends."""
+
+    def close(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(_BackendBase):
+    """In-process backend with a per-model :class:`TraceChecker` cache.
+
+    The cache is what a long-lived :class:`repro.api.Session` (or a
+    survey over many configurations sharing one backend) saves compared
+    to the old free functions, which rebuilt the checker per call.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._checkers: Dict[str, TraceChecker] = {}
+
+    def _checker(self, model: str) -> TraceChecker:
+        checker = self._checkers.get(model)
+        if checker is None:
+            checker = TraceChecker(spec_by_name(model))
+            self._checkers[model] = checker
+        return checker
+
+    def execute_iter(self, quirks: Quirks,
+                     scripts: Sequence[Script]) -> Iterator[Trace]:
+        for script in scripts:
+            yield execute_script(quirks, script)
+
+    def check_iter(self, model: str, traces: Sequence[Trace], *,
+                   collect_coverage: bool = False
+                   ) -> Iterator[CheckOutcome]:
+        checker = self._checker(model)
+        for trace in traces:
+            if collect_coverage:
+                REGISTRY.reset_hits()
+                checked = checker.check(trace)
+                yield CheckOutcome(checked, REGISTRY.hit_names())
+            else:
+                yield CheckOutcome(checker.check(trace))
+
+
+# -- process-pool worker side -------------------------------------------------
+
+#: Per-worker checker cache, keyed by model name.  Populated lazily in
+#: each worker process; this is the "per-worker TraceChecker/spec
+#: caching" that replaces per-trace checker construction.
+_WORKER_CHECKERS: Dict[str, TraceChecker] = {}
+
+
+def _worker_checker(model: str) -> TraceChecker:
+    checker = _WORKER_CHECKERS.get(model)
+    if checker is None:
+        checker = TraceChecker(spec_by_name(model))
+        _WORKER_CHECKERS[model] = checker
+    return checker
+
+
+def _check_worker(args: Tuple[int, str, str, bool]
+                  ) -> Tuple[int, tuple, int, int, bool, tuple]:
+    """Check one trace; return *full* results keyed by index.
+
+    Returning every :class:`CheckedTrace` field (not just deviations)
+    and the payload index — rather than the trace name — means duplicate
+    script names cannot collide and ``pruned``/``labels_checked`` are
+    not reconstructed lossily in the parent.
+    """
+    index, model, trace_text, collect_coverage = args
+    checker = _worker_checker(model)
+    trace = parse_trace(trace_text)
+    if collect_coverage:
+        REGISTRY.reset_hits()
+    checked = checker.check(trace)
+    covered = (tuple(sorted(REGISTRY.hit_names()))
+               if collect_coverage else ())
+    return (index, checked.deviations, checked.max_state_set,
+            checked.labels_checked, checked.pruned, covered)
+
+
+def _execute_worker(args: Tuple[int, Quirks, Script]) -> Tuple[int, str]:
+    """Execute one script; return the observed trace as text."""
+    index, quirks, script = args
+    return index, print_trace(execute_script(quirks, script))
+
+
+class ProcessPoolBackend(_BackendBase):
+    """Backend fanning both phases out over a persistent worker pool.
+
+    Unlike the old ``check_traces(processes=N)``, the pool survives
+    across calls (a Session checking several models, or a survey over
+    many configurations, pays the fork cost once), and ``chunksize`` is
+    configurable with a default derived from the input size.
+    """
+
+    def __init__(self, processes: Optional[int] = None,
+                 chunksize: Optional[int] = None) -> None:
+        self.processes = processes or multiprocessing.cpu_count()
+        self.chunksize = chunksize
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    @property
+    def name(self) -> str:
+        return f"process[{self.processes}]"
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.processes)
+        return self._pool
+
+    def pick_chunksize(self, n_items: int) -> int:
+        """The chunksize used for ``n_items``: the configured value, or
+        a heuristic giving each worker ~4 chunks (bounded to [1, 32])."""
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        return max(1, min(32, n_items // (self.processes * 4)))
+
+    def execute_iter(self, quirks: Quirks,
+                     scripts: Sequence[Script]) -> Iterator[Trace]:
+        scripts = list(scripts)
+        if not scripts:
+            return
+        pool = self._ensure_pool()
+        payload = ((i, quirks, script)
+                   for i, script in enumerate(scripts))
+        for index, trace_text in pool.imap(
+                _execute_worker, payload,
+                chunksize=self.pick_chunksize(len(scripts))):
+            assert index is not None
+            yield parse_trace(trace_text)
+
+    def check_iter(self, model: str, traces: Sequence[Trace], *,
+                   collect_coverage: bool = False
+                   ) -> Iterator[CheckOutcome]:
+        """Check traces on the pool, yielding outcomes in order.
+
+        Caveat for streaming consumers: tasks are fed to the pool ahead
+        of consumption, so abandoning the iterator early does not
+        cancel work already queued — remaining traces finish in the
+        background (the pool stays usable; later calls queue after
+        them).  ``close()`` terminates outstanding work.
+        """
+        traces = list(traces)
+        if not traces:
+            return
+        pool = self._ensure_pool()
+        payload = ((i, model, print_trace(trace), collect_coverage)
+                   for i, trace in enumerate(traces))
+        for (index, deviations, max_states, labels, pruned,
+             covered) in pool.imap(
+                _check_worker, payload,
+                chunksize=self.pick_chunksize(len(traces))):
+            yield CheckOutcome(
+                CheckedTrace(trace=traces[index],
+                             deviations=deviations,
+                             max_state_set=max_states,
+                             labels_checked=labels,
+                             pruned=pruned),
+                frozenset(covered))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_backend(processes: int = 1,
+                 chunksize: Optional[int] = None) -> Backend:
+    """The conventional backend for a ``processes`` count (CLI flags)."""
+    if processes and processes > 1:
+        return ProcessPoolBackend(processes, chunksize=chunksize)
+    return SerialBackend()
+
+
+@contextlib.contextmanager
+def owned_backend(backend: Optional[Backend], processes: int = 1,
+                  chunksize: Optional[int] = None):
+    """Yield ``backend``, or a default one owned by this scope.
+
+    The shared create-if-absent/close-only-if-created pattern: an
+    explicitly supplied backend is the caller's to manage (and
+    ``processes`` must then be left at its default); a created one is
+    closed on exit.
+    """
+    if backend is not None:
+        if processes > 1:
+            raise ValueError(
+                "pass either processes or an explicit backend, not "
+                "both (the backend decides the parallelism)")
+        yield backend
+        return
+    created = make_backend(processes, chunksize=chunksize)
+    try:
+        yield created
+    finally:
+        created.close()
+
+
+# -- the one-pass pipeline ----------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class PipelineRun:
+    """Raw engine output: one execute + check pass over a suite."""
+
+    model: str
+    traces: Tuple[Trace, ...]
+    outcomes: Tuple[CheckOutcome, ...]
+    exec_seconds: float
+    check_seconds: float
+
+    @property
+    def checked(self) -> Tuple[CheckedTrace, ...]:
+        return tuple(outcome.checked for outcome in self.outcomes)
+
+    @property
+    def covered_clauses(self) -> FrozenSet[str]:
+        covered: set = set()
+        for outcome in self.outcomes:
+            covered |= outcome.covered
+        return frozenset(covered)
+
+
+def run_pipeline(quirks: Quirks, scripts: Sequence[Script],
+                 model: Optional[str] = None,
+                 backend: Optional[Backend] = None,
+                 collect_coverage: bool = False,
+                 progress: Optional[ProgressFn] = None) -> PipelineRun:
+    """Execute a suite and check the traces — exactly once.
+
+    This is the engine under :class:`repro.api.Session`; the deprecated
+    free functions call it directly so old and new surfaces share one
+    implementation.
+    """
+    backend = backend or SerialBackend()
+    model = model or quirks.platform
+
+    t0 = time.perf_counter()
+    traces = list(backend.execute_iter(quirks, scripts))
+    t1 = time.perf_counter()
+    outcomes: List[CheckOutcome] = []
+    for outcome in backend.check_iter(model, traces,
+                                      collect_coverage=collect_coverage):
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(len(outcomes), len(traces), outcome.checked)
+    t2 = time.perf_counter()
+    return PipelineRun(model=model, traces=tuple(traces),
+                       outcomes=tuple(outcomes),
+                       exec_seconds=t1 - t0, check_seconds=t2 - t1)

@@ -16,7 +16,7 @@ import json
 import pathlib
 from typing import Dict, List, Tuple
 
-from repro.harness.run import SuiteResult
+from repro.harness.run import SuiteResult, as_suite_result
 
 
 def _fingerprint(result: SuiteResult) -> Dict[str, List[str]]:
@@ -29,8 +29,12 @@ def _fingerprint(result: SuiteResult) -> Dict[str, List[str]]:
     return out
 
 
-def save_baseline(result: SuiteResult, path: str | pathlib.Path) -> None:
-    """Record a run's deviations as the accepted baseline."""
+def save_baseline(result, path: str | pathlib.Path) -> None:
+    """Record a run's deviations as the accepted baseline.
+
+    Accepts a :class:`SuiteResult` or a :class:`repro.api.RunArtifact`.
+    """
+    result = as_suite_result(result)
     payload = {
         "config": result.config,
         "model": result.model,
@@ -66,13 +70,15 @@ class RegressionReport:
         return "\n".join(lines)
 
 
-def compare_to_baseline(result: SuiteResult,
+def compare_to_baseline(result,
                         path: str | pathlib.Path) -> RegressionReport:
     """Compare a fresh run against a stored baseline.
 
+    Accepts a :class:`SuiteResult` or a :class:`repro.api.RunArtifact`.
     A mismatched configuration or model is treated as wholesale new
     failures — baselines are per (config, model) pair.
     """
+    result = as_suite_result(result)
     payload = json.loads(pathlib.Path(path).read_text())
     current = _fingerprint(result)
     if payload.get("config") != result.config or \

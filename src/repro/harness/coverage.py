@@ -4,8 +4,15 @@ The paper reports that its suite covers 98 % of the model, measured as
 statement coverage of the Lem specification, with unreachable
 documentation clauses and other-platform clauses excluded.  Here every
 specification clause is a declared coverage point
-(:mod:`repro.core.coverage`); a measurement run resets the hit counters,
-checks a suite's traces, and reports the covered fraction.
+(:mod:`repro.core.coverage`); the checking phase records the clauses it
+evaluates, and the covered fraction is reported against the declared
+population.
+
+.. deprecated::
+    ``measure_coverage`` is a shim; prefer
+    ``Session(config, collect_coverage=True).run().coverage_report()``,
+    which gets coverage from the same single pipeline pass as the run
+    summary.
 """
 
 from __future__ import annotations
@@ -13,26 +20,26 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.coverage import REGISTRY, CoverageReport
-from repro.core.platform import spec_by_name
-from repro.checker.checker import TraceChecker
-from repro.executor.executor import execute_script
 from repro.fsimpl.configs import config_by_name
+from repro.harness.backends import Backend, run_pipeline
+from repro.harness.run import _warn_deprecated
 from repro.script.ast import Script
 
 
 def measure_coverage(config: str, scripts: Sequence[Script],
-                     model: Optional[str] = None) -> CoverageReport:
+                     model: Optional[str] = None,
+                     backend: Optional[Backend] = None) -> CoverageReport:
     """Execute + check a suite and report model coverage.
 
     Both execution (which determinizes the model) and checking exercise
     specification clauses; the paper's metric is driven by checking, so
-    hits are reset after execution and only checking is measured.
+    only clauses hit while checking are counted (hits are collected per
+    trace, which also makes the measurement correct under
+    process-pool backends whose workers have separate registries).
     """
+    _warn_deprecated("measure_coverage")
     quirks = config_by_name(config)
     model = model or quirks.platform
-    traces = [execute_script(quirks, script) for script in scripts]
-    REGISTRY.reset_hits()
-    checker = TraceChecker(spec_by_name(model))
-    for trace in traces:
-        checker.check(trace)
-    return REGISTRY.report(platform=model)
+    pipe = run_pipeline(quirks, scripts, model=model, backend=backend,
+                        collect_coverage=True)
+    return REGISTRY.report_for(pipe.covered_clauses, platform=model)

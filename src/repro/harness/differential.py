@@ -14,12 +14,10 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
-from repro.checker.checker import TraceChecker
 from repro.core.labels import OsReturn
-from repro.core.platform import spec_by_name
-from repro.executor.executor import execute_script
 from repro.fsimpl.configs import config_by_name
 from repro.fsimpl.quirks import Quirks
+from repro.harness.backends import Backend, owned_backend
 from repro.script.ast import Script, Trace
 
 
@@ -95,32 +93,48 @@ def _first_difference(left: Trace,
 
 def differential_run(left: str | Quirks, right: str | Quirks,
                      scripts: Sequence[Script],
-                     model: Optional[str] = None) -> DifferentialResult:
+                     model: Optional[str] = None,
+                     backend: Optional[Backend] = None
+                     ) -> DifferentialResult:
     """Execute every script on both configurations and classify the
     behavioural differences against the model envelope.
 
     ``model`` defaults to the *left* configuration's platform: the
     typical use is comparing a known-good baseline against a port or a
-    new file system on the same platform.
+    new file system on the same platform.  Execution and conformance
+    checking run on ``backend`` (default serial); only the traces that
+    actually differ are checked.
     """
     left_q = left if isinstance(left, Quirks) else config_by_name(left)
     right_q = right if isinstance(right, Quirks) else \
         config_by_name(right)
-    checker = TraceChecker(spec_by_name(model or left_q.platform))
+    with owned_backend(backend) as be:
+        # Stream the two executions pairwise, retaining only the
+        # differing traces — a suite-sized run holds O(differences)
+        # traces, not O(suite).
+        pairs = []
+        for i, (lt, rt) in enumerate(zip(
+                be.execute_iter(left_q, scripts),
+                be.execute_iter(right_q, scripts))):
+            first = _first_difference(lt, rt)
+            if first is not None:
+                pairs.append((i, first, lt, rt))
+        model_name = model or left_q.platform
+        left_checked = [o.checked for o in be.check_iter(
+            model_name, [lt for _, _, lt, _ in pairs])]
+        right_checked = [o.checked for o in be.check_iter(
+            model_name, [rt for _, _, _, rt in pairs])]
 
-    differences: List[Difference] = []
-    for script in scripts:
-        left_trace = execute_script(left_q, script)
-        right_trace = execute_script(right_q, script)
-        first = _first_difference(left_trace, right_trace)
-        if first is None:
-            continue
-        differences.append(Difference(
-            script_name=script.name,
+    differences: List[Difference] = [
+        Difference(
+            script_name=scripts[i].name,
             left_obs=first[0], right_obs=first[1],
-            left_conformant=checker.check(left_trace).accepted,
-            right_conformant=checker.check(right_trace).accepted,
-        ))
+            left_conformant=lc.accepted,
+            right_conformant=rc.accepted,
+        )
+        for (i, first, _, _), lc, rc in zip(pairs, left_checked,
+                                            right_checked)
+    ]
     return DifferentialResult(left=left_q.name, right=right_q.name,
                               total=len(scripts),
                               differences=tuple(differences))

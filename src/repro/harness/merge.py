@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Sequence, Tuple
 
-from repro.harness.run import SuiteResult
+from repro.harness.run import SuiteResult, as_suite_result
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,15 +30,18 @@ class DeviationRecord:
         return len(self.configs)
 
 
-def merge_results(results: Sequence[SuiteResult]) -> List[DeviationRecord]:
+def merge_results(results: Sequence) -> List[DeviationRecord]:
     """Group identical deviations across suite results.
 
-    Deviations exhibited by many configurations usually indicate model
-    or harness artefacts (or platform-wide conventions); deviations
-    unique to one configuration are the interesting defects.
+    Accepts :class:`SuiteResult` values or :class:`repro.api.RunArtifact`
+    values (anything with a ``suite_result`` view).  Deviations
+    exhibited by many configurations usually indicate model or harness
+    artefacts (or platform-wide conventions); deviations unique to one
+    configuration are the interesting defects.
     """
     grouped: Dict[Tuple, List[str]] = {}
     for result in results:
+        result = as_suite_result(result)
         for failure in result.failing:
             for dev in failure.deviations:
                 key = (failure.trace_name, dev.kind, dev.observed,

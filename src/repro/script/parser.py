@@ -19,6 +19,7 @@ a return-value line (``RV_none``, ``RV_num(3)``, an errno name, ...).
 
 from __future__ import annotations
 
+import ast
 import re
 from typing import List, Optional, Tuple
 
@@ -223,12 +224,25 @@ def parse_return(text: str) -> ReturnValue:
 
 
 def _parse_py_string(literal: str) -> str:
+    """Parse the printer's ``repr``-style string literal.
+
+    The printer renders byte payloads via :func:`repr`, which escapes
+    non-printable characters (``\\x00``, ``\\n``, …); decoding with
+    :func:`ast.literal_eval` inverts every escape, so traces carrying
+    e.g. NUL-padded read results round-trip exactly — which the
+    process-pool backend (workers exchange trace text) and the
+    RunArtifact JSON format depend on.
+    """
     literal = literal.strip()
     if len(literal) >= 2 and literal[0] == literal[-1] and \
             literal[0] in "'\"":
-        body = literal[1:-1]
-        return body.replace("\\'", "'").replace('\\"', '"') \
-                   .replace("\\\\", "\\")
+        try:
+            value = ast.literal_eval(literal)
+        except (ValueError, SyntaxError):
+            raise ParseError(
+                f"malformed string literal: {literal!r}") from None
+        if isinstance(value, str):
+            return value
     raise ParseError(f"expected string literal, got {literal!r}")
 
 

@@ -1,0 +1,293 @@
+"""Tests for the unified pipeline API: Session, RunArtifact, backends."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (ProcessPoolBackend, RunArtifact, SerialBackend,
+                       Session, survey)
+from repro.cli import main
+from repro.fsimpl import config_by_name
+from repro.harness import backends as backends_mod
+from repro.harness import (check_traces, compare_to_baseline,
+                           merge_results, run_and_check, save_baseline)
+from repro.script import parse_script
+
+SMALL_SUITE = [parse_script(text) for text in (
+    '@type script\n# Test mkdir_ok\nmkdir "a" 0o755\nstat "a"\n',
+    '@type script\n# Test rmdir_missing\nrmdir "missing"\n',
+    '@type script\n# Test fig4\nmkdir "emptydir" 0o777\n'
+    'mkdir "nonemptydir" 0o777\n'
+    'open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666\n'
+    'rename "emptydir" "nonemptydir"\n',
+)]
+
+#: Two scripts with the SAME name but different behaviour: the old
+#: parallel check keyed results by trace name and silently collided.
+DUP_NAME_SUITE = [parse_script(text) for text in (
+    '@type script\n# Test dup\nmkdir "emptydir" 0o777\n'
+    'mkdir "nonemptydir" 0o777\n'
+    'open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666\n'
+    'rename "emptydir" "nonemptydir"\n',
+    '@type script\n# Test dup\nrmdir "missing"\n',
+)]
+
+
+def _strip_volatile(artifact: RunArtifact) -> RunArtifact:
+    """Identical-modulo-timings comparison helper."""
+    return dataclasses.replace(artifact, backend="-",
+                               exec_seconds=0.0, check_seconds=0.0)
+
+
+class TestSessionOnePass:
+    def test_run_executes_each_script_exactly_once(self, monkeypatch):
+        calls = []
+        real = backends_mod.execute_script
+
+        def counting(quirks, script):
+            calls.append(script.name)
+            return real(quirks, script)
+
+        monkeypatch.setattr(backends_mod, "execute_script", counting)
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE) as session:
+            first = session.run()
+            second = session.run()
+            # HTML, JSON and summary all render from the same pass.
+            assert "fig4" in first.render_html()
+            assert first.to_json()
+        assert first is second
+        assert len(calls) == len(SMALL_SUITE)
+
+    def test_iter_checked_streams_with_progress(self):
+        seen = []
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE) as session:
+            checked = list(session.iter_checked(
+                progress=lambda done, total, c:
+                    seen.append((done, total, c.trace.name))))
+            artifact = session.run()
+        assert [s[0] for s in seen] == [1, 2, 3]
+        assert all(s[1] == 3 for s in seen)
+        assert tuple(checked) == artifact.checked
+
+    def test_exact_length_consumption_caches_artifact(self, monkeypatch):
+        from repro.checker.checker import TraceChecker
+
+        calls = []
+        real = TraceChecker.check
+
+        def counting(self, trace):
+            calls.append(trace.name)
+            return real(self, trace)
+
+        monkeypatch.setattr(TraceChecker, "check", counting)
+        with Session("linux_ext4", suite=SMALL_SUITE) as session:
+            it = session.iter_checked()
+            for _ in range(len(SMALL_SUITE)):  # never hits StopIteration
+                next(it)
+            artifact = session.run()
+        assert artifact.total == len(SMALL_SUITE)
+        assert len(calls) == len(SMALL_SUITE)  # run() did not re-check
+
+    def test_failing_and_exit_semantics(self):
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE) as session:
+            artifact = session.run()
+        assert artifact.total == 3
+        assert "fig4" in {f.trace_name for f in artifact.failing}
+        assert artifact.suite_result.accepted == \
+            artifact.total - len(artifact.failing)
+        assert artifact.accepted == artifact.suite_result.accepted
+
+    def test_session_generates_suite_with_limit(self):
+        with Session("linux_ext4", limit=5) as session:
+            artifact = session.run()
+        assert artifact.total == 5
+
+
+class TestRunArtifactJson:
+    def test_round_trip_equality_with_deviations(self):
+        with Session("linux_sshfs_tmpfs", model="posix",
+                     suite=SMALL_SUITE) as session:
+            artifact = session.run()
+        assert artifact.failing  # the round trip must cover deviations
+        assert RunArtifact.from_json(artifact.to_json()) == artifact
+
+    def test_round_trip_equality_with_coverage(self):
+        with Session("linux_ext4", suite=SMALL_SUITE,
+                     collect_coverage=True) as session:
+            artifact = session.run()
+        assert artifact.covered_clauses
+        assert RunArtifact.from_json(artifact.to_json()) == artifact
+
+    def test_save_load(self, tmp_path):
+        with Session("linux_ext4", suite=SMALL_SUITE) as session:
+            artifact = session.run()
+        path = tmp_path / "artifact.json"
+        artifact.save(path)
+        assert RunArtifact.load(path) == artifact
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            RunArtifact.from_json('{"format": 999}')
+
+    def test_coverage_report_requires_collection(self):
+        with Session("linux_ext4", suite=SMALL_SUITE) as session:
+            artifact = session.run()
+        with pytest.raises(ValueError):
+            artifact.coverage_report()
+
+    def test_coverage_report_from_artifact(self):
+        with Session("linux_ext4", suite=SMALL_SUITE,
+                     collect_coverage=True) as session:
+            report = session.run().coverage_report()
+        assert 0 < report.fraction < 1
+        assert report.total > 100
+
+
+class TestBackendParity:
+    def test_serial_and_process_artifacts_identical(self):
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE) as s:
+            serial = s.run()
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE,
+                     backend=ProcessPoolBackend(2)) as s:
+            parallel = s.run()
+        assert _strip_volatile(serial) == _strip_volatile(parallel)
+
+    def test_parity_includes_coverage(self):
+        with Session("linux_ext4", suite=SMALL_SUITE,
+                     collect_coverage=True) as s:
+            serial = s.run()
+        with Session("linux_ext4", suite=SMALL_SUITE,
+                     backend=ProcessPoolBackend(2),
+                     collect_coverage=True) as s:
+            parallel = s.run()
+        assert serial.covered_clauses == parallel.covered_clauses
+
+    def test_duplicate_trace_names_do_not_collide(self):
+        quirks = config_by_name("linux_sshfs_tmpfs")
+        backend = SerialBackend()
+        traces = list(backend.execute_iter(quirks, DUP_NAME_SUITE))
+        serial = [o.checked for o in backend.check_iter("linux", traces)]
+        with pytest.warns(DeprecationWarning):
+            parallel = check_traces("linux", traces, processes=2)
+        assert [c.accepted for c in serial] == \
+            [c.accepted for c in parallel]
+        assert [c.labels_checked for c in serial] == \
+            [c.labels_checked for c in parallel]
+        # The two same-named traces genuinely differ in outcome.
+        assert serial[0].accepted != serial[1].accepted
+
+    def test_chunksize_heuristic_and_override(self):
+        backend = ProcessPoolBackend(4)
+        assert backend.pick_chunksize(3) == 1
+        assert backend.pick_chunksize(400) == 25
+        assert backend.pick_chunksize(100000) == 32
+        fixed = ProcessPoolBackend(4, chunksize=7)
+        assert fixed.pick_chunksize(400) == 7
+        backend.close()
+        fixed.close()
+
+    def test_nul_byte_traces_parity_and_round_trip(self):
+        # Reads of sparse/truncate-extended files return NUL-padded
+        # data; the printer escapes it and the parser must invert the
+        # escapes, or the text-exchanging process backend (and the
+        # JSON artifact) silently disagree with the serial backend.
+        from repro import generate_suite
+
+        scripts = [s for s in generate_suite()
+                   if s.name in ("fdseq___truncate_extend_zero_fill",
+                                 "fdseq___pwrite_past_eof")]
+        assert len(scripts) == 2
+        with Session("linux_ext4", suite=scripts) as s:
+            serial = s.run()
+        with Session("linux_ext4", suite=scripts,
+                     backend=ProcessPoolBackend(2)) as s:
+            parallel = s.run()
+        assert all(c.accepted for c in serial.checked)
+        assert _strip_volatile(serial) == _strip_volatile(parallel)
+        assert RunArtifact.from_json(serial.to_json()) == serial
+
+    def test_pool_persists_across_calls(self):
+        with ProcessPoolBackend(2) as backend:
+            quirks = config_by_name("linux_ext4")
+            traces = list(backend.execute_iter(quirks, SMALL_SUITE))
+            first_pool = backend._pool
+            list(backend.check_iter("linux", traces))
+            assert backend._pool is first_pool
+        assert backend._pool is None
+
+
+class TestSurveyAndIntegration:
+    def test_survey_shares_suite(self):
+        artifacts = survey(["linux_ext4", "linux_sshfs_tmpfs"],
+                           suite=SMALL_SUITE)
+        assert [a.config for a in artifacts] == \
+            ["linux_ext4", "linux_sshfs_tmpfs"]
+        assert all(a.total == 3 for a in artifacts)
+        records = merge_results(artifacts)  # artifacts merge directly
+        assert any(r.trace_name == "fig4" for r in records)
+
+    def test_ci_baseline_accepts_artifacts(self, tmp_path):
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE) as s:
+            artifact = s.run()
+        path = tmp_path / "baseline.json"
+        save_baseline(artifact, path)
+        report = compare_to_baseline(artifact, path)
+        assert not report.regressed
+
+    def test_deprecated_run_and_check_matches_session(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_and_check("linux_sshfs_tmpfs", SMALL_SUITE)
+        with Session("linux_sshfs_tmpfs", suite=SMALL_SUITE) as s:
+            modern = s.run().suite_result
+        assert legacy.failing == modern.failing
+        assert legacy.total == modern.total
+
+    def test_processes_with_explicit_backend_rejected(self):
+        backend = SerialBackend()
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="not both"):
+            run_and_check("linux_ext4", SMALL_SUITE, processes=4,
+                          backend=backend)
+
+
+class TestCliExitCodes:
+    def test_run_clean_config_exit_zero(self, capsys):
+        assert main(["run", "--config", "linux_ext4",
+                     "--limit", "10"]) == 0
+        assert "accepted: 10" in capsys.readouterr().out
+
+    def test_run_deviating_config_exit_one_single_pass(self, tmp_path,
+                                                       capsys):
+        html = tmp_path / "r.html"
+        blob = tmp_path / "r.json"
+        code = main(["run", "--config", "linux_sshfs_tmpfs",
+                     "--limit", "40", "--html", str(html),
+                     "--artifact", str(blob)])
+        assert code == 1
+        assert "<!DOCTYPE html>" in html.read_text()
+        loaded = RunArtifact.load(blob)
+        assert loaded.config == "linux_sshfs_tmpfs"
+        assert loaded.failing
+
+    def test_run_with_process_backend(self, capsys):
+        assert main(["run", "--config", "linux_ext4", "--limit", "12",
+                     "--processes", "2", "--chunksize", "3"]) == 0
+
+    def test_survey_exit_zero(self, capsys):
+        assert main(["survey", "--configs",
+                     "linux_ext4,linux_sshfs_tmpfs",
+                     "--limit", "20"]) == 0
+        assert "linux_sshfs_tmpfs" in capsys.readouterr().out
+
+    def test_exec_check_exit_codes(self, tmp_path, capsys):
+        script = tmp_path / "t.script"
+        script.write_text(
+            '@type script\n# Test fig4\nmkdir "emptydir" 0o777\n'
+            'mkdir "nonemptydir" 0o777\n'
+            'open "nonemptydir/f" [O_CREAT;O_WRONLY] 0o666\n'
+            'rename "emptydir" "nonemptydir"\n')
+        assert main(["exec", str(script), "--config", "linux_ext4",
+                     "--check"]) == 0
+        capsys.readouterr()
+        assert main(["exec", str(script), "--config",
+                     "linux_sshfs_tmpfs", "--check"]) == 1

@@ -28,6 +28,8 @@ LAYERS = {
     "repro.executor": 9,
     "repro.testgen": 9,
     "repro.harness": 10,
+    "repro.api": 11,
+    "repro.cli": 12,
 }
 
 
