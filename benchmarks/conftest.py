@@ -36,8 +36,8 @@ def record_table(name: str, text: str) -> None:
 
 @pytest.fixture(scope="session")
 def full_suite():
-    from repro.testgen import generate_suite
-    return generate_suite(scale=SUITE_SCALE)
+    from repro.gen import default_plan
+    return list(default_plan(scale=SUITE_SCALE).scripts())
 
 
 @pytest.fixture(scope="session")

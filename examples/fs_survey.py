@@ -13,9 +13,10 @@ Run:  python examples/fs_survey.py            (defect battery, fast)
 
 import sys
 
-from repro import (ALL_CONFIGS, generate_suite, merge_results,
+from repro import (ALL_CONFIGS, default_plan, merge_results,
                    parse_script, render_merge, render_summary_table,
-                   run_and_check)
+                   survey)
+from repro.gen import explicit
 
 DEFECT_BATTERY = {
     "fig4_rename": (
@@ -45,17 +46,22 @@ DEFECT_BATTERY = {
 
 def main() -> None:
     if "--full" in sys.argv:
-        scripts = generate_suite()
-        print(f"running the full generated suite "
-              f"({len(scripts)} scripts) on {len(ALL_CONFIGS)} "
-              "configurations — this takes several minutes...\n")
+        plan = default_plan()
+        print(f"running the full generated plan "
+              f"(~{plan.estimate()} scripts, streamed) on "
+              f"{len(ALL_CONFIGS)} configurations — this takes "
+              "several minutes...\n")
     else:
-        scripts = [parse_script(f"@type script\n# Test {name}\n{body}")
-                   for name, body in DEFECT_BATTERY.items()]
-        print(f"running the defect battery ({len(scripts)} scripts) "
-              f"on {len(ALL_CONFIGS)} configurations...\n")
+        plan = explicit(
+            [parse_script(f"@type script\n# Test {name}\n{body}")
+             for name, body in DEFECT_BATTERY.items()],
+            label="defect_battery")
+        print(f"running the defect battery ({plan.estimate()} "
+              f"scripts) on {len(ALL_CONFIGS)} configurations...\n")
 
-    results = [run_and_check(cfg, scripts) for cfg in ALL_CONFIGS]
+    # One survey call: the backend is shared across configurations and
+    # each one streams the plan straight into checking.
+    results = [a.suite_result for a in survey(plan=plan)]
 
     print("=== acceptance per configuration (paper §7.2) ===")
     print(render_summary_table(results))

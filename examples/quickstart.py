@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: SibylFS as a test oracle, driven through the Session API.
+"""Quickstart: SibylFS as a test oracle — select, stream, check.
 
 Part 1 builds the paper's running example (Figs. 2-4): a script that
 renames an empty directory onto a non-empty one, executed on a defective
@@ -7,20 +7,24 @@ SSHFS-like file system.  The oracle decides whether the observed trace
 is allowed by the model, and — when it is not — names the allowed
 results and keeps checking.
 
-Part 2 shows the same pipeline at suite scale through
-:class:`repro.Session`, the package's front door: one configured object
-executes and checks a generated suite exactly once and yields a
-:class:`repro.RunArtifact` that the summary, the HTML report and the
-CI-diffable JSON blob all render from.  (The old free functions such as
-``run_and_check`` still work, but are deprecated shims over the same
-engine.)
+Part 2 shows the pipeline at suite scale: **select** a population with
+a :class:`repro.TestPlan` (strategies composed by tag filters, name
+globs and seeded samples), **stream** it through
+:class:`repro.Session` (generation feeds the backend lazily — the
+suite is never materialised), and **check** every trace in the same
+pass.  The resulting :class:`repro.RunArtifact` records the plan's
+provenance and seeds, so any sampled or randomized run can be
+reproduced from its artifact alone.  (The old free functions such as
+``run_and_check`` and ``generate_suite`` still work, but are deprecated
+shims over the same engine.)
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (Session, check_trace, execute_script, parse_script,
-                   render_checked_trace, spec_by_name, config_by_name,
-                   print_trace)
+from repro import (RandomizedStrategy, Session, check_trace,
+                   config_by_name, default_plan, execute_script,
+                   parse_script, print_trace, render_checked_trace,
+                   spec_by_name, union)
 
 SCRIPT = """\
 @type script
@@ -55,23 +59,46 @@ def single_trace_oracle() -> None:
 
 
 def suite_pipeline() -> None:
-    """Part 2: the same pipeline at suite scale, via Session."""
-    print("--- suite run through repro.Session (one pass) ---")
+    """Part 2: select a plan, stream it through Session, check."""
+    # Select: the two-path strategies only (tag filter prunes whole
+    # strategies before anything is generated), sampled down to a
+    # seeded, reproducible 60 scripts.
+    plan = default_plan().filter(tags=["two-path"]).sample(60, seed=7)
+    print("--- tag-filtered plan streamed through repro.Session ---")
+    print(f"plan: {plan.describe()}  (~{plan.estimate()} scripts)")
     with Session("linux_sshfs_tmpfs", model="posix",
-                 limit=60) as session:
-        artifact = session.run()
+                 plan=plan) as session:
+        artifact = session.run()   # generation streams into checking
     print(artifact.render_summary())
 
     # Everything below reuses the SAME artifact — no re-execution:
     html = artifact.render_html()
     blob = artifact.to_json()
     print(f"\nHTML report: {len(html)} chars; JSON artifact: "
-          f"{len(blob)} chars (round-trips for CI diffing)")
+          f"{len(blob)} chars (round-trips for CI diffing; records "
+          f"plan {artifact.plan!r} and seeds {artifact.seeds})")
+
+
+def randomized_pipeline() -> None:
+    """Part 3: seeded randomized testing — no expected outcomes needed,
+    the oracle decides, and the recorded seed makes the run
+    reproducible."""
+    plan = union(RandomizedStrategy(count=40, seed=42))
+    print("\n--- seeded randomized run (paper sections 8-9) ---")
+    with Session("linux_sshfs_tmpfs", plan=plan) as session:
+        artifact = session.run()
+    print(artifact.render_summary())
+    # --limit 40 takes the first 40 seeded scripts — exactly the
+    # count=40 population above, so the CLI run reproduces this one.
+    print(f"reproduce with: repro run --config linux_sshfs_tmpfs "
+          f"--plan randomized --seed {artifact.seeds[0]} "
+          f"--limit {artifact.total}")
 
 
 def main() -> None:
     single_trace_oracle()
     suite_pipeline()
+    randomized_pipeline()
 
 
 if __name__ == "__main__":

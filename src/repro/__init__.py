@@ -12,6 +12,10 @@ al., SOSP 2015) in Python:
 * :mod:`repro.checker` -- the test oracle: state-set trace checking with
   diagnostics;
 * :mod:`repro.testgen` -- equivalence-partitioning test generation;
+* :mod:`repro.gen` -- the composable TestPlan API: every generator
+  family as a named, tagged strategy, with lazy plan combinators
+  (union / filter / sample / scale / shuffle) streaming scripts
+  straight into the pipeline;
 * :mod:`repro.executor` and :mod:`repro.fsimpl` -- the test executor and
   the simulated implementations-under-test (~40 configurations
   reproducing the paper's survey, including its documented defects);
@@ -20,22 +24,27 @@ al., SOSP 2015) in Python:
 * :mod:`repro.api` -- the :class:`Session` facade, the single front
   door to the pipeline.
 
-Quick start — run a suite through a :class:`Session` (one pipeline
-pass; every report renders from the same :class:`RunArtifact`)::
+Quick start — select a plan, stream it through a :class:`Session` (one
+pipeline pass; every report renders from the same
+:class:`RunArtifact`)::
 
-    from repro import Session
+    from repro import Session, default_plan
 
-    with Session("linux_sshfs_tmpfs", model="posix", limit=100) as s:
+    plan = default_plan().filter(include=["rename*"]).sample(100,
+                                                             seed=7)
+    with Session("linux_sshfs_tmpfs", model="posix", plan=plan) as s:
         artifact = s.run()
     print(artifact.render_summary())
     html = artifact.render_html()       # same pass, no re-run
-    blob = artifact.to_json()           # CI-diffable; round-trips
+    blob = artifact.to_json()           # CI-diffable; records the plan
 
-Scale it with a persistent worker pool, or stream results::
+Scale it with a persistent worker pool — generation streams into the
+pool, which starts checking while the plan is still producing::
 
-    from repro import ProcessPoolBackend, Session
+    from repro import ProcessPoolBackend, Session, default_plan
 
-    with Session("linux_ext4", backend=ProcessPoolBackend(4)) as s:
+    with Session("linux_ext4", plan=default_plan(),
+                 backend=ProcessPoolBackend(4)) as s:
         for checked in s.iter_checked():
             ...                         # yields as workers finish
 
@@ -61,14 +70,16 @@ from repro.script import (parse_script, parse_trace, print_script,
 from repro.executor import execute_script
 from repro.fsimpl import (ALL_CONFIGS, KernelFS, Quirks, ReferenceFS,
                           config_by_name)
-from repro.testgen import generate_suite
+from repro.testgen import SuiteSummary, generate_suite, summarize
+from repro.gen import (REGISTRY, RandomizedStrategy, Strategy, TestPlan,
+                       build_plan, default_plan, union)
 from repro.harness import (measure_coverage, merge_results,
                            render_merge, render_suite_result,
                            render_summary_table, run_and_check)
 from repro.api import (Backend, ProcessPoolBackend, RunArtifact,
                        SerialBackend, Session, survey)
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Errno", "OpenFlag", "PlatformSpec", "SeekWhence", "Stat",
@@ -77,7 +88,9 @@ __all__ = [
     "parse_script", "parse_trace", "print_script", "print_trace",
     "execute_script",
     "ALL_CONFIGS", "KernelFS", "Quirks", "ReferenceFS", "config_by_name",
-    "generate_suite",
+    "SuiteSummary", "generate_suite", "summarize",
+    "REGISTRY", "RandomizedStrategy", "Strategy", "TestPlan",
+    "build_plan", "default_plan", "union",
     "measure_coverage", "merge_results", "render_merge",
     "render_suite_result", "render_summary_table", "run_and_check",
     "Backend", "ProcessPoolBackend", "RunArtifact", "SerialBackend",

@@ -5,14 +5,20 @@ traces, render reports, measure coverage, survey configurations — goes
 through a :class:`Session` configured once::
 
     from repro.api import Session
+    from repro.gen import default_plan
 
-    with Session("linux_sshfs_tmpfs", model="posix", limit=100) as s:
+    plan = default_plan().filter(include=["rename*"]).sample(100,
+                                                             seed=7)
+    with Session("linux_sshfs_tmpfs", model="posix", plan=plan) as s:
         artifact = s.run()
     print(artifact.render_summary())
     html = artifact.render_html()          # same pass, no re-run
-    blob = artifact.to_json()              # CI-diffable
+    blob = artifact.to_json()              # CI-diffable; records plan
 
-Execution and checking are delegated to a pluggable
+The plan streams: generation is consumed lazily by the backend chunker
+(:meth:`Backend.run_iter`), so a process pool starts checking while the
+plan is still producing and the suite is never materialised.  Execution
+and checking are delegated to a pluggable
 :class:`~repro.harness.backends.Backend` (:class:`SerialBackend` or the
 persistent :class:`ProcessPoolBackend`), and results can be streamed via
 :meth:`Session.iter_checked`.  The old free functions
@@ -23,10 +29,11 @@ deprecated shims over this machinery.
 from repro.api.artifact import FORMAT_VERSION, RunArtifact
 from repro.api.session import Session, survey
 from repro.harness.backends import (Backend, CheckOutcome,
-                                    ProcessPoolBackend, SerialBackend,
-                                    make_backend)
+                                    ProcessPoolBackend, RunRecord,
+                                    SerialBackend, make_backend)
 
 __all__ = [
     "Backend", "CheckOutcome", "FORMAT_VERSION", "ProcessPoolBackend",
-    "RunArtifact", "SerialBackend", "Session", "make_backend", "survey",
+    "RunArtifact", "RunRecord", "SerialBackend", "Session",
+    "make_backend", "survey",
 ]

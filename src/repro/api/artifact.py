@@ -28,7 +28,10 @@ from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
 
 #: Bumped when the JSON layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions ``from_json`` still reads (v1 lacked plan provenance).
+_READABLE_VERSIONS = (1, 2)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +53,13 @@ class RunArtifact:
     #: Sorted clause names covered by the checking phase (empty unless
     #: the session collected coverage).
     covered_clauses: Tuple[str, ...] = ()
+    #: Provenance of the :class:`repro.gen.TestPlan` that produced the
+    #: suite (e.g. ``"default.filter(include=rename*).sample(100,
+    #: seed=7)"``); empty for pre-plan runs.
+    plan: str = ""
+    #: Every seed the plan used (sampling, shuffling, randomized
+    #: generation) — what makes a randomized run reproducible.
+    seeds: Tuple[int, ...] = ()
 
     # -- derived views --------------------------------------------------------
 
@@ -118,6 +128,8 @@ class RunArtifact:
             "check_seconds": self.check_seconds,
             "coverage_collected": self.coverage_collected,
             "covered_clauses": list(self.covered_clauses),
+            "plan": self.plan,
+            "seeds": list(self.seeds),
             "traces": [
                 {
                     "target_function": target,
@@ -145,7 +157,7 @@ class RunArtifact:
     def from_json(cls, text: str) -> "RunArtifact":
         payload = json.loads(text)
         version = payload.get("format")
-        if version != FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported artifact format: {version!r}")
         checked = []
         targets = []
@@ -170,7 +182,9 @@ class RunArtifact:
                    exec_seconds=payload["exec_seconds"],
                    check_seconds=payload["check_seconds"],
                    coverage_collected=payload["coverage_collected"],
-                   covered_clauses=tuple(payload["covered_clauses"]))
+                   covered_clauses=tuple(payload["covered_clauses"]),
+                   plan=payload.get("plan", ""),
+                   seeds=tuple(payload.get("seeds", ())))
 
     def save(self, path: str | pathlib.Path,
              indent: int | None = 2) -> None:

@@ -3,20 +3,23 @@
 The paper positions oracle-based testing as usable "routinely (with low
 effort for the user)" in development and CI.  A :class:`Session` is that
 routine entry point: configured once with a configuration, model
-variant, suite and backend, it generates, executes and checks **exactly
-once**, caching each stage so every consumer — summary, HTML report,
-coverage, CI baseline, survey merge — renders from the same
-:class:`RunArtifact` instead of re-running the pipeline (the old CLI
-executed and checked the whole suite twice for ``run --html``).
+variant, test plan and backend, it generates, executes and checks
+**exactly once**, caching each stage so every consumer — summary, HTML
+report, coverage, CI baseline, survey merge — renders from the same
+:class:`RunArtifact` instead of re-running the pipeline.
 
-Streaming: ``iter_checked()`` yields each :class:`CheckedTrace` as the
-backend completes it, with an optional progress callback — the shape
-long CI runs and future async/sharded backends plug into.
+Generation *streams*: a :class:`repro.gen.TestPlan` is consumed lazily
+by the backend's ``run_iter`` — the suite is never materialised, and a
+process pool starts checking the first scripts while the plan is still
+producing the rest.  ``iter_checked()`` yields each
+:class:`CheckedTrace` as the backend completes it, with an optional
+progress callback — the shape long CI runs and future async/sharded
+backends plug into.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import time
 
@@ -24,10 +27,11 @@ from repro.api.artifact import RunArtifact
 from repro.checker.checker import CheckedTrace
 from repro.fsimpl.configs import ALL_CONFIGS, config_by_name
 from repro.fsimpl.quirks import Quirks
+from repro.gen import TestPlan, default_plan, explicit
 from repro.harness.backends import (Backend, CheckOutcome, ProgressFn,
-                                    SerialBackend, owned_backend)
+                                    RunRecord, SerialBackend,
+                                    fallback_run_iter, owned_backend)
 from repro.script.ast import Script, Trace
-from repro.testgen.suite import generate_suite
 
 
 class Session:
@@ -41,9 +45,15 @@ class Session:
     model:
         Model variant to check against; defaults to the configuration's
         platform.
+    plan:
+        A :class:`repro.gen.TestPlan` selecting what to generate; its
+        scripts stream into the backend without ever being
+        materialised, and its provenance (and seeds) are recorded in
+        the :class:`RunArtifact`.  Mutually exclusive with ``suite``.
     scale / limit:
-        Suite generation knobs (ignored when ``suite`` is given):
-        ``scale`` multiplies the generated population, ``limit`` caps it.
+        Default-plan knobs (ignored when ``plan`` or ``suite`` is
+        given): ``scale`` multiplies the generated population,
+        ``limit`` caps it.
     suite:
         An explicit script suite, e.g. to share one generated suite
         across the many sessions of a survey.
@@ -58,10 +68,13 @@ class Session:
 
     def __init__(self, config: str | Quirks,
                  model: Optional[str] = None, *,
+                 plan: Optional[TestPlan] = None,
                  scale: int = 1, limit: int = 0,
                  suite: Optional[Sequence[Script]] = None,
                  backend: Optional[Backend] = None,
                  collect_coverage: bool = False) -> None:
+        if plan is not None and suite is not None:
+            raise ValueError("pass either plan or suite, not both")
         self.quirks = (config if isinstance(config, Quirks)
                        else config_by_name(config))
         self.model = model or self.quirks.platform
@@ -72,6 +85,13 @@ class Session:
         self.collect_coverage = collect_coverage
         self._suite: Optional[Tuple[Script, ...]] = (
             tuple(suite) if suite is not None else None)
+        if plan is not None:
+            self.plan = plan
+        elif suite is not None:
+            self.plan = explicit(self._suite)
+        else:
+            generated = default_plan(scale=scale)
+            self.plan = generated.take(limit) if limit else generated
         self._traces: Optional[Tuple[Trace, ...]] = None
         self._exec_seconds: Optional[float] = None
         self._artifact: Optional[RunArtifact] = None
@@ -80,17 +100,18 @@ class Session:
 
     @property
     def suite(self) -> Tuple[Script, ...]:
-        """The script suite (generated once on first access)."""
+        """The script suite, **materialised** from the plan on first
+        access.  A plan-driven run never touches this — streaming
+        consumers should use :meth:`iter_checked`/:meth:`run`."""
         if self._suite is None:
-            scripts = generate_suite(scale=self.scale)
-            if self.limit:
-                scripts = scripts[: self.limit]
-            self._suite = tuple(scripts)
+            self._suite = tuple(self.plan.scripts())
         return self._suite
 
     @property
     def traces(self) -> Tuple[Trace, ...]:
         """The observed traces (suite executed once on first access)."""
+        if self._artifact is not None:
+            return tuple(c.trace for c in self._artifact.checked)
         if self._traces is None:
             t0 = time.perf_counter()
             self._traces = tuple(
@@ -104,10 +125,11 @@ class Session:
                      ) -> Iterator[CheckedTrace]:
         """Stream checked traces as the backend completes them.
 
-        Consuming every item (with or without driving the iterator to
-        ``StopIteration``) caches the :class:`RunArtifact`, so a
+        Consuming every item caches the :class:`RunArtifact`, so a
         subsequent :meth:`run` is free.  An abandoned partial iteration
-        caches nothing but the executed traces.
+        caches nothing.  The ``total`` passed to ``progress`` is the
+        plan's cheap estimate — exact for materialised suites, ``0``
+        when counting would cost a generation pass (name filters).
         """
         if self._artifact is not None:
             total = self._artifact.total
@@ -116,7 +138,66 @@ class Session:
                     progress(done, total, checked)
                 yield checked
             return
+        if self._traces is not None:
+            # Traces were already executed via the two-phase path;
+            # check them rather than re-executing the suite.
+            yield from self._iter_checked_traces(progress)
+            return
+        yield from self._iter_checked_streaming(progress)
 
+    def _iter_checked_streaming(self, progress: Optional[ProgressFn]
+                                ) -> Iterator[CheckedTrace]:
+        """The plan -> backend stream: generation is consumed lazily by
+        the backend chunker, so checking overlaps generation and the
+        suite is never held in memory.
+
+        The loop runs one record ahead of what it yields: the end of a
+        lazy stream is only observable by pulling past it, and the
+        artifact must be finalized *before* the last item is yielded so
+        a consumer that stops at exactly the last trace (zip, islice,
+        next()-counting) still leaves the artifact cached and a later
+        :meth:`run` free.
+        """
+        if self._suite is not None:
+            source: Union[Tuple[Script, ...], Iterator[Script]] = \
+                self._suite
+            total_hint = len(self._suite)
+        else:
+            source = self.plan.scripts()
+            total_hint = (self.plan.cheap_estimate() or 0
+                          if progress is not None else 0)
+        records: List[RunRecord] = []
+        run_iter = getattr(self.backend, "run_iter", None)
+        if run_iter is not None:
+            iterator = run_iter(self.quirks, self.model, iter(source),
+                                collect_coverage=self.collect_coverage)
+        else:
+            # A pre-0.3 custom backend implementing only the two-phase
+            # protocol (execute_iter/check_iter): compose the stream
+            # script by script so laziness is preserved.
+            iterator = fallback_run_iter(
+                self.backend, self.quirks, self.model, iter(source),
+                collect_coverage=self.collect_coverage)
+        t0 = time.perf_counter()
+        pending = next(iterator, None)
+        while pending is not None:
+            record = pending
+            pending = next(iterator, None)
+            records.append(record)
+            if progress is not None:
+                progress(len(records), total_hint,
+                         record.outcome.checked)
+            if pending is None:
+                self._finalize_records(
+                    records, wall_seconds=time.perf_counter() - t0)
+            yield record.outcome.checked
+        if self._artifact is None:  # empty suite: the loop never ran
+            self._finalize_records(records, wall_seconds=0.0)
+
+    def _iter_checked_traces(self, progress: Optional[ProgressFn]
+                             ) -> Iterator[CheckedTrace]:
+        """Legacy two-phase path, used when ``.traces`` was already
+        materialised by the caller."""
         traces = self.traces
         outcomes: List[CheckOutcome] = []
         t0 = time.perf_counter()
@@ -127,30 +208,49 @@ class Session:
             if progress is not None:
                 progress(len(outcomes), len(traces), outcome.checked)
             if len(outcomes) == len(traces):
-                # Finalize before yielding the last item: a consumer
-                # that stops at exactly the last trace (zip, islice,
-                # next()-counting) must still leave the artifact
-                # cached, or a later run() would re-check everything.
-                self._finalize(outcomes, time.perf_counter() - t0)
+                self._finalize_records(
+                    [RunRecord(target_function=s.target_function,
+                               outcome=o)
+                     for s, o in zip(self.suite, outcomes)],
+                    exec_seconds=self._exec_seconds or 0.0,
+                    check_seconds=time.perf_counter() - t0)
             yield outcome.checked
         if self._artifact is None:  # empty suite: the loop never ran
-            self._finalize(outcomes, time.perf_counter() - t0)
+            self._finalize_records([], exec_seconds=self._exec_seconds
+                                   or 0.0,
+                                   check_seconds=time.perf_counter() - t0)
 
-    def _finalize(self, outcomes: List[CheckOutcome],
-                  check_seconds: float) -> None:
+    def _finalize_records(self, records: Sequence[RunRecord],
+                          exec_seconds: Optional[float] = None,
+                          check_seconds: Optional[float] = None,
+                          wall_seconds: Optional[float] = None) -> None:
+        if exec_seconds is None or check_seconds is None:
+            # Streamed pass: the phases interleave (and under a pool
+            # the per-record times are summed worker time, not wall
+            # time), so apportion the measured wall clock by the
+            # phases' relative weight — artifact timings stay
+            # comparable to the paper's wall-clock traces/second.
+            sum_exec = sum(r.exec_seconds for r in records)
+            sum_check = sum(r.check_seconds for r in records)
+            wall = wall_seconds if wall_seconds is not None else \
+                sum_exec + sum_check
+            busy = sum_exec + sum_check
+            exec_seconds = wall * sum_exec / busy if busy else 0.0
+            check_seconds = wall - exec_seconds if busy else 0.0
         covered: set = set()
-        for outcome in outcomes:
-            covered |= outcome.covered
+        for record in records:
+            covered |= record.outcome.covered
         self._artifact = RunArtifact(
             config=self.quirks.name, model=self.model,
             backend=self.backend.name,
-            checked=tuple(o.checked for o in outcomes),
-            target_functions=tuple(s.target_function
-                                   for s in self.suite),
-            exec_seconds=self._exec_seconds or 0.0,
+            checked=tuple(r.outcome.checked for r in records),
+            target_functions=tuple(r.target_function for r in records),
+            exec_seconds=exec_seconds,
             check_seconds=check_seconds,
             coverage_collected=self.collect_coverage,
-            covered_clauses=tuple(sorted(covered)))
+            covered_clauses=tuple(sorted(covered)),
+            plan=self.plan.describe(),
+            seeds=self.plan.seeds())
 
     def run(self, progress: Optional[ProgressFn] = None) -> RunArtifact:
         """Run the pipeline (once) and return its artifact.
@@ -179,27 +279,36 @@ class Session:
 
 
 def survey(configs: Optional[Sequence[str | Quirks]] = None, *,
+           plan: Optional[TestPlan] = None,
            suite: Optional[Sequence[Script]] = None,
            scale: int = 1, limit: int = 0,
            backend: Optional[Backend] = None,
            collect_coverage: bool = False) -> List[RunArtifact]:
     """Run the pipeline across many configurations, sharing the work.
 
-    The suite is generated once and the backend (with its caches and
-    worker pool) is shared by every per-configuration session — the
-    section 7.3 survey as a single API call.
+    The backend (with its caches and worker pool) is shared by every
+    per-configuration session — the section 7.3 survey as a single API
+    call.  The population is generated exactly once: a ``plan`` is
+    :meth:`~repro.gen.TestPlan.materialize`-d up front (its provenance
+    and seeds still reach every artifact) rather than re-generated per
+    configuration, and a ``suite`` — or the default generated
+    population — is shared as-is.
     """
+    if plan is not None and suite is not None:
+        raise ValueError("pass either plan or suite, not both")
     quirks = [q if isinstance(q, Quirks) else config_by_name(q)
               for q in configs] if configs is not None else \
         list(ALL_CONFIGS)
-    if suite is None:
-        scripts: Sequence[Script] = generate_suite(scale=scale)
+    if plan is not None:
+        plan = plan.materialize()
+    elif suite is None:
+        generated = default_plan(scale=scale)
         if limit:
-            scripts = scripts[: limit]
-        suite = scripts
+            generated = generated.take(limit)
+        suite = tuple(generated.scripts())
     with owned_backend(backend) as shared:
         return [
-            Session(q, suite=suite, backend=shared,
+            Session(q, plan=plan, suite=suite, backend=shared,
                     collect_coverage=collect_coverage).run()
             for q in quirks
         ]

@@ -8,18 +8,29 @@ packages the pipeline accordingly::
     python -m repro exec SCRIPT --config linux_ext4 [--check]
     python -m repro gen --out DIR [--scale N]
     python -m repro run --config linux_sshfs_tmpfs [--html report.html]
+    python -m repro run --config linux_ext4 --include 'rename*' \\
+        --sample 100 --seed 7
+    python -m repro run --config linux_ext4 --plan randomized \\
+        --sample 50 --seed 3
     python -m repro survey
     python -m repro coverage --config linux_ext4
+    python -m repro plans
     python -m repro portability TRACE
     python -m repro reduce SCRIPT --config linux_sshfs_tmpfs
     python -m repro debug TRACE --model posix
     python -m repro configs
 
-Suite-level commands (``run``, ``survey``, ``coverage``) are thin
-wrappers over :class:`repro.api.Session`: one pipeline pass produces a
-:class:`repro.api.RunArtifact` that the text summary, the HTML report
-(``--html``) and the JSON artifact (``--artifact``) are all rendered
-from.  ``--processes``/``--chunksize`` select the process-pool backend.
+Suite-level commands (``run``, ``survey``, ``coverage``, ``gen``) build
+a :class:`repro.gen.TestPlan` from the selection flags —
+``--plan`` (strategy name globs; see ``repro plans``), ``--include`` /
+``--exclude`` (script-name globs), ``--sample N`` + ``--seed S``
+(seeded reservoir sample), ``--scale`` and ``--limit`` — and stream it
+through :class:`repro.api.Session`: one pipeline pass produces a
+:class:`repro.api.RunArtifact` (with the plan's provenance and seeds
+recorded) that the text summary, the HTML report (``--html``) and the
+JSON artifact (``--artifact``) are all rendered from.  Generation
+streams into checking, so ``--processes N`` starts checking on the pool
+while the plan is still generating.
 
 Exit status: 0 if everything checked conformant, 1 otherwise (suitable
 for CI).
@@ -37,6 +48,7 @@ from repro.checker import TraceChecker, render_checked_trace
 from repro.core.platform import SPECS, spec_by_name
 from repro.executor import execute_script
 from repro.fsimpl import ALL_CONFIGS, config_by_name
+from repro.gen import REGISTRY, TestPlan, build_plan
 from repro.harness import (merge_results, render_merge,
                            render_summary_table)
 from repro.harness.debug import debug_trace, render_debug
@@ -44,7 +56,6 @@ from repro.harness.portability import analyse_portability
 from repro.harness.reduce import reduce_script
 from repro.script import (parse_script, parse_trace, print_script,
                           print_trace)
-from repro.testgen import generate_suite
 
 
 def _read(path: str) -> str:
@@ -52,11 +63,19 @@ def _read(path: str) -> str:
 
 
 def _progress_printer(total_hint: str = "traces"):
-    """A Session progress callback writing a live counter to stderr."""
+    """A Session progress callback writing a live counter to stderr.
+
+    ``total`` may be 0 when the plan streams without a cheap count
+    (e.g. a name filter); the counter then runs open-ended.
+    """
     def progress(done: int, total: int, _checked) -> None:
-        end = "\n" if done == total else "\r"
-        print(f"checked {done}/{total} {total_hint}",
-              file=sys.stderr, end=end, flush=True)
+        if total:
+            end = "\n" if done == total else "\r"
+            print(f"checked {done}/{total} {total_hint}",
+                  file=sys.stderr, end=end, flush=True)
+        else:
+            print(f"checked {done} {total_hint}",
+                  file=sys.stderr, end="\r", flush=True)
     return progress
 
 
@@ -79,14 +98,29 @@ def _cmd_exec(args) -> int:
     return 0
 
 
+def _plan_from_args(args) -> TestPlan:
+    """The :class:`TestPlan` described by the selection flags."""
+    names = getattr(args, "plan", None)
+    return build_plan(
+        names=[n.strip() for n in names.split(",") if n.strip()]
+        if names else None,
+        include=getattr(args, "include", None),
+        exclude=getattr(args, "exclude", None),
+        sample=getattr(args, "sample", None),
+        seed=getattr(args, "seed", 0),
+        scale=getattr(args, "scale", 1),
+        limit=getattr(args, "limit", 0))
+
+
 def _cmd_gen(args) -> int:
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    suite = generate_suite(scale=args.scale)
-    for script in suite:
+    count = 0
+    for script in _plan_from_args(args).scripts():
         (out / f"{script.name}.script").write_text(
             print_script(script))
-    print(f"wrote {len(suite)} scripts to {out}")
+        count += 1
+    print(f"wrote {count} scripts to {out}")
     return 0
 
 
@@ -94,12 +128,11 @@ def _cmd_run(args) -> int:
     with make_backend(args.processes,
                       chunksize=args.chunksize) as backend:
         session = Session(args.config, model=args.model,
-                          scale=args.scale, limit=args.limit,
-                          backend=backend)
+                          plan=_plan_from_args(args), backend=backend)
         artifact = session.run(
             progress=_progress_printer() if args.progress else None)
     # Every output below renders from this one artifact: the suite was
-    # executed and checked exactly once.
+    # generated, executed and checked exactly once (as one stream).
     print(artifact.render_summary())
     if args.html:
         pathlib.Path(args.html).write_text(artifact.render_html())
@@ -115,7 +148,8 @@ def _cmd_survey(args) -> int:
                else [cfg.name for cfg in ALL_CONFIGS])
     with make_backend(args.processes,
                       chunksize=args.chunksize) as backend:
-        artifacts = survey(configs, limit=args.limit, backend=backend)
+        artifacts = survey(configs, plan=_plan_from_args(args),
+                           backend=backend)
     print(render_summary_table([a.suite_result for a in artifacts]))
     print()
     print(render_merge(merge_results(artifacts)))
@@ -126,9 +160,21 @@ def _cmd_coverage(args) -> int:
     with make_backend(args.processes,
                       chunksize=args.chunksize) as backend:
         session = Session(args.config, model=args.model,
+                          plan=_plan_from_args(args),
                           backend=backend, collect_coverage=True)
         report = session.run().coverage_report()
     print(report.render())
+    return 0
+
+
+def _cmd_plans(_args) -> int:
+    total = 0
+    for strategy in REGISTRY:
+        estimate = strategy.estimate()
+        total += estimate
+        tags = ",".join(sorted(strategy.tags))
+        print(f"{strategy.name:<18} {estimate:>6}  [{tags}]")
+    print(f"{'TOTAL':<18} {total:>6}")
     return 0
 
 
@@ -173,6 +219,32 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
                              "derived from the suite size)")
 
 
+def _add_plan_flags(parser: argparse.ArgumentParser) -> None:
+    """The TestPlan selection flags shared by the suite commands."""
+    parser.add_argument("--plan", default=None, metavar="NAMES",
+                        help="comma-separated strategy name globs "
+                             "(see 'repro plans'; default: every "
+                             "strategy except randomized)")
+    parser.add_argument("--include", action="append", default=None,
+                        metavar="GLOB",
+                        help="keep only script names matching a glob "
+                             "(repeatable)")
+    parser.add_argument("--exclude", action="append", default=None,
+                        metavar="GLOB",
+                        help="drop script names matching a glob "
+                             "(repeatable)")
+    parser.add_argument("--sample", type=int, default=None, metavar="N",
+                        help="seeded reservoir sample of N scripts")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for --sample and for the randomized "
+                             "strategy (recorded in the artifact)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="replicate the population N times "
+                             "(renamed copies, for throughput runs)")
+    parser.add_argument("--limit", type=int, default=0,
+                        help="stop after the first N scripts")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,23 +265,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default=None)
     p.set_defaults(func=_cmd_exec)
 
-    p = sub.add_parser("gen", help="write the generated suite to disk")
+    p = sub.add_parser("gen", help="write the planned suite to disk")
     p.add_argument("--out", required=True)
-    p.add_argument("--scale", type=int, default=1)
+    _add_plan_flags(p)
     p.set_defaults(func=_cmd_gen)
 
-    p = sub.add_parser("run", help="generate, execute and check a "
-                                   "whole suite (one pass)")
+    p = sub.add_parser("run", help="plan, execute and check a suite "
+                                   "(one streamed pass)")
     p.add_argument("--config", required=True)
     p.add_argument("--model", default=None)
-    p.add_argument("--scale", type=int, default=1)
-    p.add_argument("--limit", type=int, default=0)
+    _add_plan_flags(p)
     _add_backend_flags(p)
     p.add_argument("--html", default=None,
                    help="also write an HTML report (same pass)")
     p.add_argument("--artifact", default=None,
                    help="also write the RunArtifact as JSON (for CI "
-                        "diffing)")
+                        "diffing; records the plan and seeds)")
     p.add_argument("--progress", action="store_true",
                    help="stream per-trace progress to stderr")
     p.set_defaults(func=_cmd_run)
@@ -218,15 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
                                       "merge deviations")
     p.add_argument("--configs", default=None,
                    help="comma-separated subset")
-    p.add_argument("--limit", type=int, default=0)
+    _add_plan_flags(p)
     _add_backend_flags(p)
     p.set_defaults(func=_cmd_survey)
 
     p = sub.add_parser("coverage", help="measure model coverage")
     p.add_argument("--config", default="linux_ext4")
     p.add_argument("--model", default=None)
+    _add_plan_flags(p)
     _add_backend_flags(p)
     p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("plans", help="list registered generation "
+                                     "strategies with estimates")
+    p.set_defaults(func=_cmd_plans)
 
     p = sub.add_parser("portability",
                        help="which platforms allow a trace?")

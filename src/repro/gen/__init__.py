@@ -1,0 +1,40 @@
+"""Composable test-plan API: select -> stream -> check.
+
+The paper's suite (section 6.1) is an equivalence-partitioning union of
+generator families.  This package makes each family a first-class,
+named, tagged :class:`Strategy` in a :class:`StrategyRegistry`, and
+makes populations *plans* — lazy, composable descriptions that stream
+scripts straight into the pipeline backends::
+
+    from repro.gen import default_plan
+
+    plan = default_plan().filter(include=["rename*"]) \\
+                         .sample(100, seed=7)
+    with Session("linux_ext4", plan=plan) as s:
+        artifact = s.run()          # generation streams into checking
+
+    # A seeded randomized run, reproducible from its artifact:
+    from repro.gen import RandomizedStrategy, union
+    plan = union(RandomizedStrategy(count=200, seed=42))
+
+Nothing is materialised: ``plan.scripts()`` is a generator the backend
+chunker consumes while it is still producing, and the plan's provenance
+(:meth:`TestPlan.describe`) plus every seed it used are recorded in the
+:class:`repro.api.RunArtifact`.
+"""
+
+from repro.gen.plan import (EMPTY, ExplicitPlan, StrategyPlan, TestPlan,
+                            UnionPlan, as_plan, explicit, union)
+from repro.gen.registry import (DEFAULT_STRATEGY_NAMES, REGISTRY,
+                                StrategyRegistry, build_plan,
+                                default_plan, get_strategy, register)
+from repro.gen.strategy import (FunctionStrategy, RandomizedStrategy,
+                                Strategy)
+
+__all__ = [
+    "EMPTY", "ExplicitPlan", "StrategyPlan", "TestPlan", "UnionPlan",
+    "as_plan", "explicit", "union",
+    "DEFAULT_STRATEGY_NAMES", "REGISTRY", "StrategyRegistry",
+    "build_plan", "default_plan", "get_strategy", "register",
+    "FunctionStrategy", "RandomizedStrategy", "Strategy",
+]

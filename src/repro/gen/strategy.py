@@ -1,0 +1,125 @@
+"""The Strategy protocol: a named, tagged, lazily-generated test family.
+
+The paper's suite (section 6.1) is a union of generator families —
+combinatorial path-situation products, hand-designed sequences,
+hand-written scripts, randomized scripts.  A :class:`Strategy` is one
+such family as *data*: a ``name`` a plan can select by, ``tags`` for
+coarse filtering, a cheap ``estimate()`` of how many scripts it yields,
+and a re-iterable ``scripts()`` generator.  Strategies never
+materialise their population eagerly; :class:`repro.gen.plan.TestPlan`
+composes them and the pipeline backends consume them as a stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Iterator, Optional
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.script.ast import Script
+from repro.testgen.randomized import random_script
+
+
+@runtime_checkable
+class Strategy(Protocol):
+    """One test-generation family, selectable by name and tags."""
+
+    #: Registry key, e.g. ``"two_path:rename"``.
+    name: str
+    #: Coarse classification, e.g. ``{"generated", "two-path"}``.
+    tags: FrozenSet[str]
+
+    def estimate(self) -> int:
+        """The (possibly cached) script count of this strategy."""
+        ...
+
+    def scripts(self) -> Iterator[Script]:
+        """A fresh iterator over the strategy's scripts.  Must be
+        re-iterable: every call restarts the generation.
+
+        A strategy may additionally offer ``describe()`` (provenance
+        string, defaults to ``name``) and ``seeds`` (seeds to record in
+        the artifact); both are optional.
+        """
+        ...
+
+
+class FunctionStrategy:
+    """A strategy wrapping one of the classic ``gen_*`` free functions.
+
+    The wrapped callable is invoked afresh on every ``scripts()`` call,
+    so the strategy is re-iterable and nothing is cached beyond the
+    script count.
+    """
+
+    def __init__(self, name: str, fn: Callable[[], Iterable[Script]],
+                 tags: Iterable[str] = (),
+                 estimate: Optional[int] = None) -> None:
+        self.name = name
+        self.tags = frozenset(tags)
+        self._fn = fn
+        self._estimate = estimate
+
+    def estimate(self) -> int:
+        if self._estimate is None:
+            self._estimate = sum(1 for _ in self.scripts())
+        return self._estimate
+
+    def cheap_estimate(self) -> Optional[int]:
+        """The declared or already-counted estimate — ``None`` rather
+        than generating just to count."""
+        return self._estimate
+
+    def scripts(self) -> Iterator[Script]:
+        yield from self._fn()
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionStrategy({self.name!r}, tags={sorted(self.tags)})"
+
+
+class RandomizedStrategy:
+    """Seeded random scripts as a strategy (paper sections 8-9).
+
+    ``seed`` is the base seed: script *i* uses ``seed + i``, so the same
+    (count, seed, length) triple always regenerates the identical
+    population — which is what makes a randomized run reproducible once
+    the plan provenance is recorded in the :class:`RunArtifact`.
+    """
+
+    name = "randomized"
+    tags = frozenset({"randomized"})
+
+    def __init__(self, count: int = 256, seed: int = 0,
+                 length: int = 25, multi_process: bool = False) -> None:
+        self.count = count
+        self.seed = seed
+        self.length = length
+        self.multi_process = multi_process
+
+    def estimate(self) -> int:
+        return self.count
+
+    def scripts(self) -> Iterator[Script]:
+        for i in range(self.count):
+            yield random_script(self.seed + i, length=self.length,
+                                multi_process=self.multi_process)
+
+    def describe(self) -> str:
+        return (f"randomized[count={self.count},seed={self.seed},"
+                f"length={self.length}]")
+
+    @property
+    def seeds(self) -> tuple:
+        return (self.seed,)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomizedStrategy({self.describe()})"

@@ -24,6 +24,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import multiprocessing
+import threading
 import time
 from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
                     Optional, Sequence, Tuple)
@@ -62,6 +63,23 @@ class CheckOutcome:
     covered: FrozenSet[str] = frozenset()
 
 
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One script through the whole pipeline: executed and checked.
+
+    This is what the streaming path yields: the script's target
+    function travels with the outcome (a streamed suite is never held,
+    so the consumer cannot look it up later), and the per-phase seconds
+    are as measured where the work ran (summed worker time under a
+    process pool).
+    """
+
+    target_function: str
+    outcome: CheckOutcome
+    exec_seconds: float = 0.0
+    check_seconds: float = 0.0
+
+
 @runtime_checkable
 class Backend(Protocol):
     """Where the pipeline's two parallel phases actually run."""
@@ -70,7 +88,7 @@ class Backend(Protocol):
     name: str
 
     def execute_iter(self, quirks: Quirks,
-                     scripts: Sequence[Script]) -> Iterator[Trace]:
+                     scripts: Iterable[Script]) -> Iterator[Trace]:
         """Execute scripts on fresh instances of a configuration,
         yielding traces in script order as they complete."""
         ...
@@ -80,6 +98,26 @@ class Backend(Protocol):
                    ) -> Iterator[CheckOutcome]:
         """Check traces against a model variant, yielding outcomes in
         trace order as they complete."""
+        ...
+
+    def run_iter(self, quirks: Quirks, model: str,
+                 scripts: Iterable[Script], *,
+                 collect_coverage: bool = False
+                 ) -> Iterator[RunRecord]:
+        """Execute *and* check a stream of scripts, yielding a
+        :class:`RunRecord` per script in input order.
+
+        ``scripts`` may be a lazy generator (a
+        :meth:`repro.gen.TestPlan.scripts` stream); the backend pulls
+        from it incrementally, so checking begins while generation is
+        still producing and the suite is never materialised.
+
+        Optional for backward compatibility: a backend implementing
+        only the two-phase surface still works —
+        :class:`repro.api.Session` falls back to
+        :func:`fallback_run_iter`, which composes this from
+        ``execute_iter``/``check_iter``.
+        """
         ...
 
     def close(self) -> None:
@@ -121,7 +159,7 @@ class SerialBackend(_BackendBase):
         return checker
 
     def execute_iter(self, quirks: Quirks,
-                     scripts: Sequence[Script]) -> Iterator[Trace]:
+                     scripts: Iterable[Script]) -> Iterator[Trace]:
         for script in scripts:
             yield execute_script(quirks, script)
 
@@ -136,6 +174,26 @@ class SerialBackend(_BackendBase):
                 yield CheckOutcome(checked, REGISTRY.hit_names())
             else:
                 yield CheckOutcome(checker.check(trace))
+
+    def run_iter(self, quirks: Quirks, model: str,
+                 scripts: Iterable[Script], *,
+                 collect_coverage: bool = False
+                 ) -> Iterator[RunRecord]:
+        checker = self._checker(model)
+        for script in scripts:
+            t0 = time.perf_counter()
+            trace = execute_script(quirks, script)
+            t1 = time.perf_counter()
+            if collect_coverage:
+                REGISTRY.reset_hits()
+            checked = checker.check(trace)
+            t2 = time.perf_counter()
+            covered = (REGISTRY.hit_names() if collect_coverage
+                       else frozenset())
+            yield RunRecord(target_function=script.target_function,
+                            outcome=CheckOutcome(checked, covered),
+                            exec_seconds=t1 - t0,
+                            check_seconds=t2 - t1)
 
 
 # -- process-pool worker side -------------------------------------------------
@@ -181,6 +239,31 @@ def _execute_worker(args: Tuple[int, Quirks, Script]) -> Tuple[int, str]:
     return index, print_trace(execute_script(quirks, script))
 
 
+def _run_worker(args: Tuple[int, Quirks, Script, str, bool]) -> tuple:
+    """Execute *and* check one script in the worker (streaming path).
+
+    Both phases run on the worker so a generated script makes a single
+    trip through the pool; the parent gets the trace back as text (the
+    exact round-tripping format) plus the full checked fields, keyed by
+    index as in :func:`_check_worker`.
+    """
+    index, quirks, script, model, collect_coverage = args
+    t0 = time.perf_counter()
+    trace = execute_script(quirks, script)
+    t1 = time.perf_counter()
+    checker = _worker_checker(model)
+    if collect_coverage:
+        REGISTRY.reset_hits()
+    checked = checker.check(trace)
+    t2 = time.perf_counter()
+    covered = (tuple(sorted(REGISTRY.hit_names()))
+               if collect_coverage else ())
+    return (index, script.target_function, print_trace(trace),
+            checked.deviations, checked.max_state_set,
+            checked.labels_checked, checked.pruned, covered,
+            t1 - t0, t2 - t1)
+
+
 class ProcessPoolBackend(_BackendBase):
     """Backend fanning both phases out over a persistent worker pool.
 
@@ -213,7 +296,7 @@ class ProcessPoolBackend(_BackendBase):
         return max(1, min(32, n_items // (self.processes * 4)))
 
     def execute_iter(self, quirks: Quirks,
-                     scripts: Sequence[Script]) -> Iterator[Trace]:
+                     scripts: Iterable[Script]) -> Iterator[Trace]:
         scripts = list(scripts)
         if not scripts:
             return
@@ -255,6 +338,60 @@ class ProcessPoolBackend(_BackendBase):
                              pruned=pruned),
                 frozenset(covered))
 
+    def stream_chunksize(self) -> int:
+        """The chunksize for a stream of unknown length: the configured
+        value, or a small default that keeps first results early."""
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        return 8
+
+    def run_iter(self, quirks: Quirks, model: str,
+                 scripts: Iterable[Script], *,
+                 collect_coverage: bool = False
+                 ) -> Iterator[RunRecord]:
+        """Stream scripts through execute+check on the pool.
+
+        The feeder holds a bounded window of in-flight scripts (a
+        semaphore released as results are consumed), so a lazy
+        generator — a :class:`repro.gen.TestPlan` stream — is pulled
+        only slightly ahead of checking and the suite is never
+        materialised, while the pool starts checking the first chunk
+        while generation is still producing the rest.
+        """
+        pool = self._ensure_pool()
+        chunk = self.stream_chunksize()
+        window = max(chunk * self.processes * 4, chunk)
+        in_flight = threading.Semaphore(window)
+        stop = threading.Event()
+
+        def payload() -> Iterator[tuple]:
+            # Runs on the pool's task-feeder thread: block (with a
+            # stop-aware timeout, so close()/abandonment cannot wedge
+            # the feeder) until the consumer drains a result.
+            for index, script in enumerate(scripts):
+                while not in_flight.acquire(timeout=0.1):
+                    if stop.is_set():
+                        return
+                yield (index, quirks, script, model, collect_coverage)
+
+        try:
+            for (index, target, trace_text, deviations, max_states,
+                 labels, pruned, covered, exec_s, check_s) in pool.imap(
+                    _run_worker, payload(), chunksize=chunk):
+                in_flight.release()
+                yield RunRecord(
+                    target_function=target,
+                    outcome=CheckOutcome(
+                        CheckedTrace(trace=parse_trace(trace_text),
+                                     deviations=deviations,
+                                     max_state_set=max_states,
+                                     labels_checked=labels,
+                                     pruned=pruned),
+                        frozenset(covered)),
+                    exec_seconds=exec_s, check_seconds=check_s)
+        finally:
+            stop.set()
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.terminate()
@@ -266,6 +403,28 @@ class ProcessPoolBackend(_BackendBase):
             self.close()
         except Exception:
             pass
+
+
+def fallback_run_iter(backend: Backend, quirks: Quirks, model: str,
+                      scripts: Iterable[Script], *,
+                      collect_coverage: bool = False
+                      ) -> Iterator[RunRecord]:
+    """``run_iter`` composed from the two-phase protocol, for custom
+    backends written against the pre-0.3 :class:`Backend` surface
+    (``execute_iter``/``check_iter`` only).  Feeds one script at a time
+    so a lazy plan stream stays lazy."""
+    for script in scripts:
+        t0 = time.perf_counter()
+        for trace in backend.execute_iter(quirks, (script,)):
+            t1 = time.perf_counter()
+            for outcome in backend.check_iter(
+                    model, (trace,),
+                    collect_coverage=collect_coverage):
+                yield RunRecord(
+                    target_function=script.target_function,
+                    outcome=outcome,
+                    exec_seconds=t1 - t0,
+                    check_seconds=time.perf_counter() - t1)
 
 
 def make_backend(processes: int = 1,

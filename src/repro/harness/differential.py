@@ -12,11 +12,12 @@ envelope — separating benign variation from genuine deviation.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.labels import OsReturn
 from repro.fsimpl.configs import config_by_name
 from repro.fsimpl.quirks import Quirks
+from repro.gen.plan import TestPlan
 from repro.harness.backends import Backend, owned_backend
 from repro.script.ast import Script, Trace
 
@@ -92,33 +93,44 @@ def _first_difference(left: Trace,
 
 
 def differential_run(left: str | Quirks, right: str | Quirks,
-                     scripts: Sequence[Script],
+                     scripts: Union[Sequence[Script], TestPlan],
                      model: Optional[str] = None,
                      backend: Optional[Backend] = None
                      ) -> DifferentialResult:
     """Execute every script on both configurations and classify the
     behavioural differences against the model envelope.
 
-    ``model`` defaults to the *left* configuration's platform: the
-    typical use is comparing a known-good baseline against a port or a
-    new file system on the same platform.  Execution and conformance
-    checking run on ``backend`` (default serial); only the traces that
-    actually differ are checked.
+    ``scripts`` may be a materialised suite or a
+    :class:`repro.gen.TestPlan`, in which case each side streams the
+    plan's generator independently (re-iterable by construction) and
+    the suite is never held in memory.  ``model`` defaults to the
+    *left* configuration's platform: the typical use is comparing a
+    known-good baseline against a port or a new file system on the same
+    platform.  Execution and conformance checking run on ``backend``
+    (default serial); only the traces that actually differ are checked.
     """
     left_q = left if isinstance(left, Quirks) else config_by_name(left)
     right_q = right if isinstance(right, Quirks) else \
         config_by_name(right)
+    if isinstance(scripts, TestPlan):
+        left_scripts: Iterator[Script] | Sequence[Script] = \
+            scripts.scripts()
+        right_scripts: Iterator[Script] | Sequence[Script] = \
+            scripts.scripts()
+    else:
+        left_scripts = right_scripts = scripts
     with owned_backend(backend) as be:
         # Stream the two executions pairwise, retaining only the
         # differing traces — a suite-sized run holds O(differences)
         # traces, not O(suite).
         pairs = []
-        for i, (lt, rt) in enumerate(zip(
-                be.execute_iter(left_q, scripts),
-                be.execute_iter(right_q, scripts))):
+        total = 0
+        for lt, rt in zip(be.execute_iter(left_q, left_scripts),
+                          be.execute_iter(right_q, right_scripts)):
+            total += 1
             first = _first_difference(lt, rt)
             if first is not None:
-                pairs.append((i, first, lt, rt))
+                pairs.append((lt.name, first, lt, rt))
         model_name = model or left_q.platform
         left_checked = [o.checked for o in be.check_iter(
             model_name, [lt for _, _, lt, _ in pairs])]
@@ -127,14 +139,14 @@ def differential_run(left: str | Quirks, right: str | Quirks,
 
     differences: List[Difference] = [
         Difference(
-            script_name=scripts[i].name,
+            script_name=name,
             left_obs=first[0], right_obs=first[1],
             left_conformant=lc.accepted,
             right_conformant=rc.accepted,
         )
-        for (i, first, _, _), lc, rc in zip(pairs, left_checked,
-                                            right_checked)
+        for (name, first, _, _), lc, rc in zip(pairs, left_checked,
+                                               right_checked)
     ]
     return DifferentialResult(left=left_q.name, right=right_q.name,
-                              total=len(scripts),
+                              total=total,
                               differences=tuple(differences))

@@ -7,6 +7,20 @@ leading slashes, what the path resolves to, symlink components, ...).
 Commands taking two paths are tested on all pairs of situations plus the
 cross-path classes (equal paths, hard links to the same file, one path a
 proper prefix of the other).
+
+This package holds the raw generator families (``gen_*`` functions,
+seeded ``random_script``); how a run *selects* among them is the job of
+:mod:`repro.gen`, where each family is registered as a named, tagged
+strategy and composed into lazy :class:`~repro.gen.TestPlan` streams
+(select -> stream -> check)::
+
+    from repro.gen import default_plan
+
+    plan = default_plan().filter(tags=["two-path"]).sample(200, seed=1)
+
+The old eager entry points (``generate_suite``, ``suite_summary``) are
+deprecated shims; :func:`summarize` returns the structured
+:class:`SuiteSummary` that replaces the summary dict.
 """
 
 from repro.testgen.properties import (PathProps, Resolution,
@@ -20,7 +34,8 @@ from repro.testgen.generator import (gen_fd_tests, gen_handle_tests,
                                      gen_permission_tests,
                                      gen_two_path_tests)
 from repro.testgen.randomized import random_script, random_suite
-from repro.testgen.suite import generate_suite, suite_summary
+from repro.testgen.suite import (SuiteSummary, generate_suite,
+                                 suite_summary, summarize)
 
 __all__ = [
     "PathProps", "Resolution", "impossible_combination",
@@ -30,5 +45,5 @@ __all__ = [
     "gen_handwritten_tests",
     "gen_fd_tests", "gen_handle_tests", "gen_permission_tests",
     "random_script", "random_suite",
-    "generate_suite", "suite_summary",
+    "SuiteSummary", "generate_suite", "suite_summary", "summarize",
 ]

@@ -191,9 +191,9 @@ class TestBackendParity:
         # data; the printer escapes it and the parser must invert the
         # escapes, or the text-exchanging process backend (and the
         # JSON artifact) silently disagree with the serial backend.
-        from repro import generate_suite
+        from repro import default_plan
 
-        scripts = [s for s in generate_suite()
+        scripts = [s for s in default_plan().scripts()
                    if s.name in ("fdseq___truncate_extend_zero_fill",
                                  "fdseq___pwrite_past_eof")]
         assert len(scripts) == 2

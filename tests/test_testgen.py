@@ -2,10 +2,11 @@
 
 import pytest
 
+from repro.gen import default_plan
 from repro.script.ast import Script, ScriptStep
 from repro.testgen import (SITUATIONS, generate_suite,
                            missing_combinations, situation_by_key,
-                           suite_summary)
+                           suite_summary, summarize)
 from repro.testgen.generator import (gen_fd_tests, gen_handle_tests,
                                      gen_one_path_tests, gen_open_tests,
                                      gen_permission_tests,
@@ -90,35 +91,51 @@ class TestGenerators:
         assert multi, "permission tests must involve process 2"
 
     def test_all_scripts_have_unique_names(self):
-        suite = generate_suite()
-        names = [s.name for s in suite]
+        names = [s.name for s in default_plan().scripts()]
         assert len(names) == len(set(names))
 
     def test_all_scripts_parse_back(self):
         # Every generated script survives a print/parse round trip
         # (sanity for the on-disk format).
+        import itertools
+
         from repro.script import parse_script, print_script
-        for script in generate_suite()[:200]:
+        for script in itertools.islice(default_plan().scripts(), 200):
             assert parse_script(print_script(script)) == script
 
 
 class TestSuite:
     def test_suite_size(self):
-        suite = generate_suite()
-        assert len(suite) >= 2500  # the default population
+        assert default_plan().estimate() >= 2500  # default population
 
     def test_summary_counts(self):
-        suite = generate_suite()
-        summary = suite_summary(suite)
-        assert summary["TOTAL"] == len(suite)
+        suite = list(default_plan().scripts())
+        summary = summarize(suite)
+        assert summary.total == len(suite)
+        assert "TOTAL" not in summary.counts  # no sentinel in counts
+        assert sum(summary.counts.values()) == summary.total
         # open has the largest generated population (paper §6.1);
         # rename and link are quadratic and come next.
-        assert summary["open"] > summary["rmdir"]
-        assert summary["rename"] > summary["rmdir"]
+        assert summary.counts["open"] > summary.counts["rmdir"]
+        assert summary.counts["rename"] > summary.counts["rmdir"]
+
+    def test_summary_legacy_dict_shim(self):
+        suite = list(default_plan().take(10).scripts())
+        with pytest.warns(DeprecationWarning):
+            legacy = suite_summary(suite)
+        modern = summarize(suite)
+        assert legacy.pop("TOTAL") == modern.total
+        assert legacy == dict(modern.counts)
 
     def test_scale_multiplies(self):
-        base = generate_suite()
-        scaled = generate_suite(scale=2)
-        assert len(scaled) == 2 * len(base)
-        names = [s.name for s in scaled]
+        base = default_plan()
+        scaled = default_plan(scale=2)
+        assert scaled.estimate() == 2 * base.estimate()
+        names = [s.name for s in scaled.scripts()]
+        assert len(names) == 2 * base.estimate()
         assert len(names) == len(set(names))
+
+    def test_generate_suite_shim_matches_default_plan(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = generate_suite(scale=2)
+        assert legacy == list(default_plan(scale=2).scripts())
