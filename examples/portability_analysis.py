@@ -14,10 +14,10 @@ oracle:
 Run:  python examples/portability_analysis.py
 """
 
-from repro import config_by_name, execute_script, parse_script, \
-    spec_by_name
-from repro.harness import (analyse_portability, debug_trace,
-                           differential_run, render_debug)
+from repro import config_by_name, execute_script, get_oracle, \
+    parse_script, spec_by_name
+from repro.harness import (debug_trace, differential_run,
+                           portability_report, render_debug)
 
 APP_SCRIPT = parse_script("""
 @type script
@@ -37,7 +37,9 @@ unlink "cache"
 def portability() -> None:
     print("== 1. is this application portable? ==")
     trace = execute_script(config_by_name("linux_ext4"), APP_SCRIPT)
-    report = analyse_portability(trace)
+    # One vectored pass over every model variant; the verdict folds
+    # into the section 9 portability report.
+    report = portability_report(get_oracle("all").check(trace))
     print(report.render())
     print()
     print("The app relies on two Linux-isms: pwrite on an O_APPEND fd "

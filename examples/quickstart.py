@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: SibylFS as a test oracle — select, stream, check.
+"""Quickstart: SibylFS as a test oracle — check once, answer everywhere.
 
 Part 1 builds the paper's running example (Figs. 2-4): a script that
 renames an empty directory onto a non-empty one, executed on a defective
@@ -7,24 +7,29 @@ SSHFS-like file system.  The oracle decides whether the observed trace
 is allowed by the model, and — when it is not — names the allowed
 results and keeps checking.
 
-Part 2 shows the pipeline at suite scale: **select** a population with
-a :class:`repro.TestPlan` (strategies composed by tag filters, name
-globs and seeded samples), **stream** it through
-:class:`repro.Session` (generation feeds the backend lazily — the
-suite is never materialised), and **check** every trace in the same
-pass.  The resulting :class:`repro.RunArtifact` records the plan's
-provenance and seeds, so any sampled or randomized run can be
-reproduced from its artifact alone.  (The old free functions such as
-``run_and_check`` and ``generate_suite`` still work, but are deprecated
-shims over the same engine.)
+Part 2 is the new unified oracle API (`repro.oracle`): every way of
+deciding conformance lives behind one ``check(trace) -> Verdict``
+protocol with a registry.  ``get_oracle("all")`` checks a trace against
+all four platform variants in a **single vectored state-set pass** —
+the survey, merge and portability questions for the price of one — and
+``get_oracle("triaged:linux")`` uses the determinized reference file
+system (paper section 8) as a fast accept path.
+
+Part 3 shows the same one-pass answer at suite scale:
+``Session(..., check_on=[...])`` streams a test plan through
+execute+check once and records a per-platform
+:class:`repro.ConformanceProfile` for every trace in the
+:class:`repro.RunArtifact` (format v3).  The CLI equivalents are
+``repro check TRACE --platforms all`` and
+``repro run --config ... --check-on all``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (RandomizedStrategy, Session, check_trace,
-                   config_by_name, default_plan, execute_script,
-                   parse_script, print_trace, render_checked_trace,
-                   spec_by_name, union)
+from repro import (Session, config_by_name, default_plan,
+                   execute_script, get_oracle, parse_script,
+                   print_trace, render_checked_trace)
+from repro.harness import merge_verdicts, portability_report
 
 SCRIPT = """\
 @type script
@@ -51,54 +56,76 @@ def single_trace_oracle() -> None:
         print(print_trace(trace))
 
         # Check the trace against the POSIX variant of the model.
-        checked = check_trace(spec_by_name("posix"), trace)
-        verdict = "ACCEPTED" if checked.accepted else "REJECTED"
-        print(f"--- oracle verdict ({verdict}) "
+        verdict = get_oracle("posix").check(trace)
+        status = "ACCEPTED" if verdict.accepted else "REJECTED"
+        print(f"--- oracle verdict ({status}) "
               "(paper Fig. 4) ---")
-        print(render_checked_trace(checked))
+        print(render_checked_trace(verdict.primary_checked))
 
 
-def suite_pipeline() -> None:
-    """Part 2: select a plan, stream it through Session, check."""
-    # Select: the two-path strategies only (tag filter prunes whole
-    # strategies before anything is generated), sampled down to a
-    # seeded, reproducible 60 scripts.
+def multi_platform_oracle() -> None:
+    """Part 2: one vectored pass answers every platform at once."""
+    trace = execute_script(config_by_name("linux_sshfs_tmpfs"),
+                           parse_script(SCRIPT))
+
+    # One state-set exploration with platform-membership masks — not
+    # four sequential passes.
+    verdict = get_oracle("all").check(trace)
+    print("--- one-pass multi-platform verdict "
+          "(repro check TRACE --platforms all) ---")
+    print(verdict.render())
+
+    # The same verdict folds into the section 9 portability report and
+    # the cross-platform merge view, with no further checking.
+    print("\n--- portability report from the same pass ---")
+    print(portability_report(verdict).render())
+    records = merge_verdicts([verdict])
+    print(f"\nmerged deviation records: {len(records)} "
+          f"(platform sets: "
+          f"{[','.join(r.configs) for r in records]})")
+
+    # The determinized reference oracle (paper section 8) triages
+    # conformant traces without any state-set work.
+    clean = execute_script(config_by_name("linux_ext4"),
+                           parse_script(SCRIPT))
+    triaged = get_oracle("triaged:linux")
+    print(f"\nreference triage of the clean trace: "
+          f"accepted={triaged.check(clean).accepted} "
+          f"(fast accepts so far: {triaged.fast_accepts})")
+
+
+def suite_one_pass_conformance() -> None:
+    """Part 3: a whole suite, every platform, one streamed pass."""
     plan = default_plan().filter(tags=["two-path"]).sample(60, seed=7)
-    print("--- tag-filtered plan streamed through repro.Session ---")
+    print("\n--- Session(check_on=[...]): suite-scale one-pass "
+          "conformance ---")
     print(f"plan: {plan.describe()}  (~{plan.estimate()} scripts)")
     with Session("linux_sshfs_tmpfs", model="posix",
+                 check_on=["posix", "linux", "osx", "freebsd"],
                  plan=plan) as session:
         artifact = session.run()   # generation streams into checking
     print(artifact.render_summary())
 
-    # Everything below reuses the SAME artifact — no re-execution:
-    html = artifact.render_html()
-    blob = artifact.to_json()
-    print(f"\nHTML report: {len(html)} chars; JSON artifact: "
-          f"{len(blob)} chars (round-trips for CI diffing; records "
-          f"plan {artifact.plan!r} and seeds {artifact.seeds})")
-
-
-def randomized_pipeline() -> None:
-    """Part 3: seeded randomized testing — no expected outcomes needed,
-    the oracle decides, and the recorded seed makes the run
-    reproducible."""
-    plan = union(RandomizedStrategy(count=40, seed=42))
-    print("\n--- seeded randomized run (paper sections 8-9) ---")
-    with Session("linux_sshfs_tmpfs", plan=plan) as session:
-        artifact = session.run()
-    print(artifact.render_summary())
-    # --limit 40 takes the first 40 seeded scripts — exactly the
-    # count=40 population above, so the CLI run reproduces this one.
-    print(f"reproduce with: repro run --config linux_sshfs_tmpfs "
-          f"--plan randomized --seed {artifact.seeds[0]} "
-          f"--limit {artifact.total}")
+    # The artifact (format v3) carries a ConformanceProfile per trace
+    # per platform: survey table, portability and merge all render
+    # from this one pass — and it round-trips through JSON for CI.
+    counts = artifact.conformance_counts()
+    worst = min(counts, key=counts.get)
+    print(f"\nleast-conformant platform: {worst} "
+          f"({counts[worst]}/{artifact.total})")
+    # --plan 'two_path:*' selects exactly the tag-filtered strategies
+    # above, and the recorded seed makes the sample reproducible.
+    print(f"JSON artifact: {len(artifact.to_json())} chars "
+          f"(check_on={artifact.check_on}); reproduce with: "
+          f"repro run --config linux_sshfs_tmpfs --model posix "
+          f"--check-on all --plan 'two_path:*' "
+          f"--sample {artifact.total} --seed {artifact.seeds[0]}")
 
 
 def main() -> None:
     single_trace_oracle()
-    suite_pipeline()
-    randomized_pipeline()
+    multi_platform_oracle()
+    suite_one_pass_conformance()
 
 
 if __name__ == "__main__":

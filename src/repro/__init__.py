@@ -9,8 +9,12 @@ al., SOSP 2015) in Python:
   :mod:`repro.osapi` -- the four-module model (paper Fig. 5), a labelled
   transition system over immutable states, parameterised by platform
   (POSIX / Linux / OS X / FreeBSD) and traits (permissions, timestamps);
-* :mod:`repro.checker` -- the test oracle: state-set trace checking with
-  diagnostics;
+* :mod:`repro.checker` -- state-set trace checking with diagnostics;
+* :mod:`repro.oracle` -- the unified oracle API: every way of deciding
+  trace conformance (per-platform model oracles, the one-pass vectored
+  multi-platform oracle, the determinized reference triage) behind one
+  ``check(trace) -> Verdict`` protocol with a registry and
+  prefix-memoized checking;
 * :mod:`repro.testgen` -- equivalence-partitioning test generation;
 * :mod:`repro.gen` -- the composable TestPlan API: every generator
   family as a named, tagged strategy, with lazy plan combinators
@@ -48,23 +52,38 @@ pool, which starts checking while the plan is still producing::
         for checked in s.iter_checked():
             ...                         # yields as workers finish
 
-Check a single observed trace against the model oracle::
+Check a single observed trace — against one model variant, or against
+all four in a single vectored pass::
 
-    from repro import check_trace, parse_trace, spec_by_name
+    from repro import get_oracle, parse_trace
 
     trace = parse_trace(open("some.trace").read())
-    checked = check_trace(spec_by_name("linux"), trace)
-    print(checked.accepted)
+    print(get_oracle("linux").check(trace).accepted)
+    verdict = get_oracle("all").check(trace)       # one pass
+    print(verdict.accepted_on)                     # ('posix', 'linux')
+
+Ask a whole Session to answer the multi-platform question in the same
+run — the artifact then carries a per-platform conformance profile for
+every trace::
+
+    with Session("linux_ext4",
+                 check_on=["posix", "linux", "osx", "freebsd"]) as s:
+        artifact = s.run()
+    print(artifact.conformance_counts())
 
 The old free functions (``run_and_check``, ``check_traces``,
-``measure_coverage``, ``execute_suite``) remain as deprecated shims
-over the same engine and will keep working; new code should prefer
-:class:`Session`.
+``measure_coverage``, ``execute_suite``) and ``TraceChecker`` /
+``analyse_portability`` remain as deprecated shims over the same
+engine and will keep working; new code should prefer :class:`Session`
+and :mod:`repro.oracle`.
 """
 
 from repro.core import (Errno, OpenFlag, PlatformSpec, SeekWhence, Stat,
                         spec_by_name)
 from repro.checker import TraceChecker, check_trace, render_checked_trace
+from repro.oracle import (ConformanceProfile, ModelOracle, Oracle,
+                          ReferenceOracle, VectoredOracle, Verdict,
+                          get_oracle, oracle_names)
 from repro.script import (parse_script, parse_trace, print_script,
                           print_trace)
 from repro.executor import execute_script
@@ -79,12 +98,14 @@ from repro.harness import (measure_coverage, merge_results,
 from repro.api import (Backend, ProcessPoolBackend, RunArtifact,
                        SerialBackend, Session, survey)
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "Errno", "OpenFlag", "PlatformSpec", "SeekWhence", "Stat",
     "spec_by_name",
     "TraceChecker", "check_trace", "render_checked_trace",
+    "ConformanceProfile", "ModelOracle", "Oracle", "ReferenceOracle",
+    "VectoredOracle", "Verdict", "get_oracle", "oracle_names",
     "parse_script", "parse_trace", "print_script", "print_trace",
     "execute_script",
     "ALL_CONFIGS", "KernelFS", "Quirks", "ReferenceFS", "config_by_name",

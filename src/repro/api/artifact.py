@@ -10,6 +10,9 @@ re-running the pipeline.
 Artifacts serialise to JSON (``to_json``/``from_json``) for CI diffing;
 traces are stored in the paper's trace file format (Fig. 3), which
 round-trips exactly, so ``RunArtifact.from_json(a.to_json()) == a``.
+Format v3 adds the multi-platform fields (``check_on`` and per-trace
+per-platform conformance profiles from the vectored oracle); v1 and v2
+artifacts still load.
 """
 
 from __future__ import annotations
@@ -19,19 +22,22 @@ import json
 import pathlib
 from typing import Tuple
 
-from repro.checker.checker import CheckedTrace, Deviation
+from repro.checker.checker import CheckedTrace
 from repro.core.coverage import REGISTRY, CoverageReport
 from repro.harness.html import render_artifact_html
 from repro.harness.report import render_suite_result
 from repro.harness.run import SuiteResult, TraceFailure
+from repro.oracle import (ConformanceProfile, deviation_from_dict,
+                          deviation_to_dict)
 from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
 
 #: Bumped when the JSON layout changes incompatibly.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
-#: Versions ``from_json`` still reads (v1 lacked plan provenance).
-_READABLE_VERSIONS = (1, 2)
+#: Versions ``from_json`` still reads (v1 lacked plan provenance, v2
+#: the multi-platform conformance profiles).
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,6 +66,14 @@ class RunArtifact:
     #: Every seed the plan used (sampling, shuffling, randomized
     #: generation) — what makes a randomized run reproducible.
     seeds: Tuple[int, ...] = ()
+    #: Every platform the run checked, in profile order (first =
+    #: primary ``model``); empty for single-model runs.
+    check_on: Tuple[str, ...] = ()
+    #: Per-trace, per-platform conformance profiles from the vectored
+    #: oracle, parallel to ``checked`` — the one-pass answer to the
+    #: survey / merge / portability questions.  Empty for single-model
+    #: runs, whose only profile *is* ``checked``.
+    profiles: Tuple[Tuple[ConformanceProfile, ...], ...] = ()
 
     # -- derived views --------------------------------------------------------
 
@@ -87,6 +101,44 @@ class RunArtifact:
             return float("inf")
         return self.total / self.check_seconds
 
+    def conformance_counts(self) -> dict:
+        """Accepted-trace count per checked platform.
+
+        For a multi-platform run the counts come from the vectored
+        profiles (all zero for an empty suite); a single-model run
+        reports its one model.
+        """
+        if not self.check_on:
+            return {self.model: self.accepted}
+        counts: dict = {p: 0 for p in self.check_on}
+        for row in self.profiles:
+            for profile in row:
+                if profile.accepted:
+                    counts[profile.platform] += 1
+        return counts
+
+    def failing_on(self, platform: str) -> Tuple[TraceFailure, ...]:
+        """The failing traces as seen by one checked platform."""
+        if not self.check_on:
+            if platform != self.model:
+                raise KeyError(
+                    f"run did not check platform {platform!r}")
+            return self.failing
+        if platform not in self.check_on:
+            raise KeyError(f"run did not check platform {platform!r}")
+        failures = []
+        for c, target, row in zip(self.checked, self.target_functions,
+                                  self.profiles):
+            for profile in row:
+                if profile.platform == platform:
+                    if not profile.accepted:
+                        failures.append(TraceFailure(
+                            trace_name=c.trace.name,
+                            target_function=target,
+                            deviations=profile.deviations))
+                    break
+        return tuple(failures)
+
     @property
     def suite_result(self) -> SuiteResult:
         """The legacy :class:`SuiteResult` view of this artifact, for
@@ -108,8 +160,19 @@ class RunArtifact:
     # -- rendering ------------------------------------------------------------
 
     def render_summary(self) -> str:
-        """The plain-text acceptance summary (CLI output)."""
-        return render_suite_result(self.suite_result)
+        """The plain-text acceptance summary (CLI output).
+
+        Multi-platform runs append the per-platform conformance counts
+        produced by the same single pass.
+        """
+        text = render_suite_result(self.suite_result)
+        if self.check_on:
+            lines = ["conformance by platform (same pass):"]
+            for platform, count in self.conformance_counts().items():
+                lines.append(
+                    f"  {platform:<8} {count}/{self.total} accepted")
+            text = text + "\n" + "\n".join(lines)
+        return text
 
     def render_html(self, title: str | None = None) -> str:
         """The self-contained HTML report — from the *same* checked
@@ -130,6 +193,7 @@ class RunArtifact:
             "covered_clauses": list(self.covered_clauses),
             "plan": self.plan,
             "seeds": list(self.seeds),
+            "check_on": list(self.check_on),
             "traces": [
                 {
                     "target_function": target,
@@ -137,20 +201,16 @@ class RunArtifact:
                     "max_state_set": c.max_state_set,
                     "labels_checked": c.labels_checked,
                     "pruned": c.pruned,
-                    "deviations": [
-                        {
-                            "line_no": d.line_no,
-                            "kind": d.kind,
-                            "observed": d.observed,
-                            "allowed": list(d.allowed),
-                            "message": d.message,
-                        }
-                        for d in c.deviations
-                    ],
+                    "deviations": [deviation_to_dict(d)
+                                   for d in c.deviations],
                 }
                 for c, target in zip(self.checked, self.target_functions)
             ],
         }
+        if self.profiles:
+            for row, profile_row in zip(payload["traces"],
+                                        self.profiles):
+                row["profiles"] = [p.to_dict() for p in profile_row]
         return json.dumps(payload, indent=indent, sort_keys=True)
 
     @classmethod
@@ -161,13 +221,10 @@ class RunArtifact:
             raise ValueError(f"unsupported artifact format: {version!r}")
         checked = []
         targets = []
+        profile_rows = []
         for row in payload["traces"]:
-            deviations = tuple(
-                Deviation(line_no=d["line_no"], kind=d["kind"],
-                          observed=d["observed"],
-                          allowed=tuple(d["allowed"]),
-                          message=d["message"])
-                for d in row["deviations"])
+            deviations = tuple(deviation_from_dict(d)
+                               for d in row["deviations"])
             checked.append(CheckedTrace(
                 trace=parse_trace(row["trace"]),
                 deviations=deviations,
@@ -175,6 +232,10 @@ class RunArtifact:
                 labels_checked=row["labels_checked"],
                 pruned=row["pruned"]))
             targets.append(row["target_function"])
+            if "profiles" in row:
+                profile_rows.append(tuple(
+                    ConformanceProfile.from_dict(p)
+                    for p in row["profiles"]))
         return cls(config=payload["config"], model=payload["model"],
                    backend=payload["backend"],
                    checked=tuple(checked),
@@ -184,7 +245,9 @@ class RunArtifact:
                    coverage_collected=payload["coverage_collected"],
                    covered_clauses=tuple(payload["covered_clauses"]),
                    plan=payload.get("plan", ""),
-                   seeds=tuple(payload.get("seeds", ())))
+                   seeds=tuple(payload.get("seeds", ())),
+                   check_on=tuple(payload.get("check_on", ())),
+                   profiles=tuple(profile_rows))
 
     def save(self, path: str | pathlib.Path,
              indent: int | None = 2) -> None:

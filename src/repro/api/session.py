@@ -25,12 +25,14 @@ import time
 
 from repro.api.artifact import RunArtifact
 from repro.checker.checker import CheckedTrace
+from repro.core.platform import spec_by_name
 from repro.fsimpl.configs import ALL_CONFIGS, config_by_name
 from repro.fsimpl.quirks import Quirks
 from repro.gen import TestPlan, default_plan, explicit
 from repro.harness.backends import (Backend, CheckOutcome, ProgressFn,
                                     RunRecord, SerialBackend,
                                     fallback_run_iter, owned_backend)
+from repro.oracle import oracle_name_for
 from repro.script.ast import Script, Trace
 
 
@@ -45,6 +47,14 @@ class Session:
     model:
         Model variant to check against; defaults to the configuration's
         platform.
+    check_on:
+        Additional platforms to check *in the same pass*: the traces go
+        through the vectored multi-platform oracle once, and the
+        resulting :class:`RunArtifact` carries a per-platform
+        :class:`~repro.oracle.ConformanceProfile` for every trace
+        (format v3).  ``check_on=["posix", "linux", "osx", "freebsd"]``
+        answers the whole survey/portability question in one state-set
+        exploration; ``model`` stays the primary verdict.
     plan:
         A :class:`repro.gen.TestPlan` selecting what to generate; its
         scripts stream into the backend without ever being
@@ -68,6 +78,7 @@ class Session:
 
     def __init__(self, config: str | Quirks,
                  model: Optional[str] = None, *,
+                 check_on: Optional[Sequence[str]] = None,
                  plan: Optional[TestPlan] = None,
                  scale: int = 1, limit: int = 0,
                  suite: Optional[Sequence[Script]] = None,
@@ -78,6 +89,16 @@ class Session:
         self.quirks = (config if isinstance(config, Quirks)
                        else config_by_name(config))
         self.model = model or self.quirks.platform
+        # The checked-platform list, primary model first.  A one-entry
+        # list degenerates to the classic single-model run.
+        platforms = [self.model]
+        for name in check_on or ():
+            spec_by_name(name)  # validate eagerly, not in a worker
+            if name not in platforms:
+                platforms.append(name)
+        self.check_on: Tuple[str, ...] = (
+            tuple(platforms) if len(platforms) > 1 else ())
+        self._oracle_name = oracle_name_for(platforms)
         self.scale = scale
         self.limit = limit
         self.backend = backend if backend is not None else SerialBackend()
@@ -169,14 +190,23 @@ class Session:
         records: List[RunRecord] = []
         run_iter = getattr(self.backend, "run_iter", None)
         if run_iter is not None:
-            iterator = run_iter(self.quirks, self.model, iter(source),
+            iterator = run_iter(self.quirks, self._oracle_name,
+                                iter(source),
                                 collect_coverage=self.collect_coverage)
         else:
             # A pre-0.3 custom backend implementing only the two-phase
             # protocol (execute_iter/check_iter): compose the stream
-            # script by script so laziness is preserved.
+            # script by script so laziness is preserved.  Such a
+            # backend predates oracle names, so multi-platform checking
+            # cannot be silently routed through it.
+            if self.check_on:
+                raise ValueError(
+                    "check_on requires an oracle-aware backend "
+                    "(run_iter); this backend implements only the "
+                    "pre-0.3 two-phase protocol")
             iterator = fallback_run_iter(
-                self.backend, self.quirks, self.model, iter(source),
+                self.backend, self.quirks, self._oracle_name,
+                iter(source),
                 collect_coverage=self.collect_coverage)
         t0 = time.perf_counter()
         pending = next(iterator, None)
@@ -202,7 +232,7 @@ class Session:
         outcomes: List[CheckOutcome] = []
         t0 = time.perf_counter()
         for outcome in self.backend.check_iter(
-                self.model, traces,
+                self._oracle_name, traces,
                 collect_coverage=self.collect_coverage):
             outcomes.append(outcome)
             if progress is not None:
@@ -240,6 +270,15 @@ class Session:
         covered: set = set()
         for record in records:
             covered |= record.outcome.covered
+        if self.check_on and any(
+                len(r.outcome.profiles) != len(self.check_on)
+                for r in records):
+            # A custom backend that ignores the oracle protocol would
+            # otherwise yield empty/short profile rows and the artifact
+            # would quietly report zero conformance everywhere.
+            raise ValueError(
+                "backend did not produce one conformance profile per "
+                "platform; check_on requires an oracle-aware backend")
         self._artifact = RunArtifact(
             config=self.quirks.name, model=self.model,
             backend=self.backend.name,
@@ -250,7 +289,10 @@ class Session:
             coverage_collected=self.collect_coverage,
             covered_clauses=tuple(sorted(covered)),
             plan=self.plan.describe(),
-            seeds=self.plan.seeds())
+            seeds=self.plan.seeds(),
+            check_on=self.check_on,
+            profiles=(tuple(r.outcome.profiles for r in records)
+                      if self.check_on else ()))
 
     def run(self, progress: Optional[ProgressFn] = None) -> RunArtifact:
         """Run the pipeline (once) and return its artifact.
@@ -282,6 +324,7 @@ def survey(configs: Optional[Sequence[str | Quirks]] = None, *,
            plan: Optional[TestPlan] = None,
            suite: Optional[Sequence[Script]] = None,
            scale: int = 1, limit: int = 0,
+           check_on: Optional[Sequence[str]] = None,
            backend: Optional[Backend] = None,
            collect_coverage: bool = False) -> List[RunArtifact]:
     """Run the pipeline across many configurations, sharing the work.
@@ -292,7 +335,9 @@ def survey(configs: Optional[Sequence[str | Quirks]] = None, *,
     :meth:`~repro.gen.TestPlan.materialize`-d up front (its provenance
     and seeds still reach every artifact) rather than re-generated per
     configuration, and a ``suite`` — or the default generated
-    population — is shared as-is.
+    population — is shared as-is.  ``check_on`` threads through to
+    every session: each configuration's traces are checked against all
+    listed platforms in one vectored pass.
     """
     if plan is not None and suite is not None:
         raise ValueError("pass either plan or suite, not both")
@@ -309,6 +354,7 @@ def survey(configs: Optional[Sequence[str | Quirks]] = None, *,
     with owned_backend(backend) as shared:
         return [
             Session(q, plan=plan, suite=suite, backend=shared,
+                    check_on=check_on,
                     collect_coverage=collect_coverage).run()
             for q in quirks
         ]

@@ -36,6 +36,30 @@ class Deviation:
     message: str
 
 
+def implicit_creates(trace: Trace, default_uid: int = 0,
+                     default_gid: int = 0) -> List[OsCreate]:
+    """CREATE labels for pids the trace uses but never creates.
+
+    The paper's checking flag for "whether the initial process runs
+    with root privileges or not": processes a trace uses without an
+    explicit ``@process create`` line are created up front with the
+    given default credentials.  Shared by :class:`TraceChecker` and the
+    vectored oracle engine so the rule cannot desynchronize.
+    """
+    created: set = set()
+    implicit: List[OsCreate] = []
+    for event in trace.events:
+        label = event.label
+        if isinstance(label, OsCreate):
+            created.add(label.pid)
+        elif isinstance(label, (OsCall, OsReturn, OsSignal, OsSpin)):
+            if label.pid not in created:
+                created.add(label.pid)
+                implicit.append(OsCreate(label.pid, default_uid,
+                                         default_gid))
+    return implicit
+
+
 @dataclasses.dataclass(frozen=True)
 class CheckedTrace:
     """The result of checking one trace against the model."""
@@ -55,6 +79,15 @@ class CheckedTrace:
 
 class TraceChecker:
     """Checks traces against one variant of the model.
+
+    .. deprecated::
+        New code should check through :mod:`repro.oracle`
+        (``get_oracle("linux").check(trace)``), which adds prefix
+        memoization, one-pass multi-platform checking and the common
+        :class:`~repro.oracle.Verdict` surface.  This class keeps its
+        own body — layering forbids ``repro.checker`` importing
+        ``repro.oracle`` — and the oracle engine's single-platform
+        parity with it is test-enforced.
 
     ``groups`` optionally pre-populates the model's group table, matching
     the checking flags the paper mentions (e.g. whether the initial
@@ -87,20 +120,8 @@ class TraceChecker:
 
     def _implicit_creates(self, trace: Trace) -> List[OsCreate]:
         """CREATE labels for pids the trace uses but never creates."""
-        created: set[int] = set()
-        implicit: List[OsCreate] = []
-        for event in trace.events:
-            label = event.label
-            if isinstance(label, OsCreate):
-                created.add(label.pid)
-            elif isinstance(label, (OsCall, OsReturn, OsSignal,
-                                    OsSpin)):
-                if label.pid not in created:
-                    created.add(label.pid)
-                    implicit.append(OsCreate(
-                        label.pid, self.default_uid,
-                        self.default_gid))
-        return implicit
+        return implicit_creates(trace, self.default_uid,
+                                self.default_gid)
 
     def check(self, trace: Trace) -> CheckedTrace:
         spec = self.spec

@@ -5,6 +5,9 @@ the user)" during development and continuous integration.  This CLI
 packages the pipeline accordingly::
 
     python -m repro check TRACE --model linux
+    python -m repro check TRACE --platforms all      # one vectored pass
+    python -m repro check TRACE --platforms linux,osx
+    python -m repro oracles
     python -m repro exec SCRIPT --config linux_ext4 [--check]
     python -m repro gen --out DIR [--scale N]
     python -m repro run --config linux_sshfs_tmpfs [--html report.html]
@@ -44,16 +47,18 @@ import sys
 from typing import List, Optional
 
 from repro.api import Session, make_backend, survey
-from repro.checker import TraceChecker, render_checked_trace
-from repro.core.platform import SPECS, spec_by_name
+from repro.checker import render_checked_trace
+from repro.core.platform import SPECS, real_platforms, spec_by_name
 from repro.executor import execute_script
 from repro.fsimpl import ALL_CONFIGS, config_by_name
 from repro.gen import REGISTRY, TestPlan, build_plan
 from repro.harness import (merge_results, render_merge,
                            render_summary_table)
 from repro.harness.debug import debug_trace, render_debug
-from repro.harness.portability import analyse_portability
+from repro.harness.portability import portability_report
 from repro.harness.reduce import reduce_script
+from repro.oracle import (get_oracle, oracle_name_for,
+                          REGISTRY as ORACLES)
 from repro.script import (parse_script, parse_trace, print_script,
                           print_trace)
 
@@ -79,11 +84,42 @@ def _progress_printer(total_hint: str = "traces"):
     return progress
 
 
+def _parse_platforms(spec: str) -> List[str]:
+    """``--platforms`` values: a comma list, ``all``, or ``real``.
+
+    Order-preserving and deduplicated (the first mention wins)."""
+    if spec == "all":
+        return list(SPECS)
+    if spec == "real":
+        return list(real_platforms())
+    names: List[str] = []
+    for name in (n.strip() for n in spec.split(",")):
+        if not name or name in names:
+            continue
+        spec_by_name(name)  # fail fast on typos
+        names.append(name)
+    return names
+
+
 def _cmd_check(args) -> int:
     trace = parse_trace(_read(args.trace))
-    checked = TraceChecker(spec_by_name(args.model)).check(trace)
-    print(render_checked_trace(checked), end="")
-    return 0 if checked.accepted else 1
+    if args.platforms:
+        oracle = get_oracle(
+            oracle_name_for(_parse_platforms(args.platforms)))
+        verdict = oracle.check(trace)
+        print(verdict.render())
+        return 0 if verdict.accepted else 1
+    verdict = get_oracle(args.model).check(trace)
+    print(render_checked_trace(verdict.primary_checked), end="")
+    return 0 if verdict.accepted else 1
+
+
+def _cmd_oracles(_args) -> int:
+    for name, platforms, summary in ORACLES.describe():
+        print(f"{name:<18} [{','.join(platforms)}]  {summary}")
+    print("vectored:A+B[+...]  any platform combination, one pass "
+          "(first = primary)")
+    return 0
 
 
 def _cmd_exec(args) -> int:
@@ -92,9 +128,9 @@ def _cmd_exec(args) -> int:
     print(print_trace(trace), end="")
     if args.check:
         model = args.model or config_by_name(args.config).platform
-        checked = TraceChecker(spec_by_name(model)).check(trace)
-        print(render_checked_trace(checked), end="")
-        return 0 if checked.accepted else 1
+        verdict = get_oracle(model).check(trace)
+        print(render_checked_trace(verdict.primary_checked), end="")
+        return 0 if verdict.accepted else 1
     return 0
 
 
@@ -128,6 +164,8 @@ def _cmd_run(args) -> int:
     with make_backend(args.processes,
                       chunksize=args.chunksize) as backend:
         session = Session(args.config, model=args.model,
+                          check_on=_parse_platforms(args.check_on)
+                          if args.check_on else None,
                           plan=_plan_from_args(args), backend=backend)
         artifact = session.run(
             progress=_progress_printer() if args.progress else None)
@@ -179,7 +217,10 @@ def _cmd_plans(_args) -> int:
 
 
 def _cmd_portability(args) -> int:
-    report = analyse_portability(parse_trace(_read(args.trace)))
+    # One vectored pass over every model variant (SPECS order), folded
+    # into the section 9 portability report.
+    verdict = get_oracle("all").check(parse_trace(_read(args.trace)))
+    report = portability_report(verdict)
     print(report.render())
     return 0 if report.portable else 1
 
@@ -252,10 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
                     "testing")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("check", help="check a trace against a model")
+    p = sub.add_parser("check", help="check a trace against one model "
+                                     "or several in one pass")
     p.add_argument("trace")
     p.add_argument("--model", default="posix", choices=sorted(SPECS))
+    p.add_argument("--platforms", default=None, metavar="LIST",
+                   help="comma-separated platforms, 'all' or 'real': "
+                        "check them all in a single vectored pass "
+                        "(overrides --model; exit 0 iff every "
+                        "platform accepts)")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("oracles", help="list registered checking "
+                                       "oracles")
+    p.set_defaults(func=_cmd_oracles)
 
     p = sub.add_parser("exec", help="execute a script on a "
                                     "configuration")
@@ -274,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(one streamed pass)")
     p.add_argument("--config", required=True)
     p.add_argument("--model", default=None)
+    p.add_argument("--check-on", default=None, metavar="LIST",
+                   help="also check every trace against these "
+                        "platforms (comma list, 'all' or 'real') in "
+                        "the same vectored pass; the artifact records "
+                        "per-platform profiles (format v3)")
     _add_plan_flags(p)
     _add_backend_flags(p)
     p.add_argument("--html", default=None,

@@ -192,6 +192,18 @@ SPECS = {
 }
 
 
+def real_platforms() -> tuple:
+    """The modelled real-world platforms — every variant except the
+    loose ``posix`` envelope, in :data:`SPECS` order.
+
+    This is the set "portable" quantifies over: a trace allowed by
+    every real platform is by construction allowed by the POSIX
+    envelope as well, so consumers (portability, merge, CLI) should use
+    this helper instead of hardcoding ``p != "posix"``.
+    """
+    return tuple(name for name in SPECS if name != "posix")
+
+
 def spec_by_name(name: str) -> PlatformSpec:
     """Look up one of the four primary model variants by name."""
     try:

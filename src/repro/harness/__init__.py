@@ -17,12 +17,14 @@ from repro.harness.run import (SuiteResult, TraceFailure,
                                execute_suite, run_and_check,
                                suite_result_from)
 from repro.harness.coverage import measure_coverage
-from repro.harness.merge import DeviationRecord, merge_results
+from repro.harness.merge import (DeviationRecord, merge_results,
+                                 merge_verdicts)
 from repro.harness.report import (render_merge, render_suite_result,
                                   render_summary_table)
 from repro.harness.debug import DebugStep, debug_trace, render_debug
 from repro.harness.portability import (PortabilityReport,
-                                       analyse_portability)
+                                       analyse_portability,
+                                       portability_report)
 from repro.harness.reduce import (is_one_minimal, reduce_script,
                                   script_fails)
 from repro.harness.html import render_artifact_html, render_html_report
@@ -37,10 +39,10 @@ __all__ = [
     "SuiteResult", "TraceFailure", "as_suite_result", "check_traces",
     "execute_suite", "run_and_check", "suite_result_from",
     "measure_coverage",
-    "DeviationRecord", "merge_results",
+    "DeviationRecord", "merge_results", "merge_verdicts",
     "render_merge", "render_suite_result", "render_summary_table",
     "DebugStep", "debug_trace", "render_debug",
-    "PortabilityReport", "analyse_portability",
+    "PortabilityReport", "analyse_portability", "portability_report",
     "is_one_minimal", "reduce_script", "script_fails",
     "render_artifact_html", "render_html_report",
     "Difference", "DifferentialResult", "differential_run",

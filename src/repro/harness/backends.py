@@ -8,12 +8,20 @@ that every consumer (the :class:`repro.api.Session` facade, the
 deprecated free functions, the CLI) shares one engine:
 
 * :class:`SerialBackend` runs in-process and caches one
-  :class:`TraceChecker` per model variant;
+  :class:`repro.oracle.Oracle` per model/oracle name;
 * :class:`ProcessPoolBackend` keeps a *persistent* worker pool across
-  calls; each worker caches its checker per model, and results are
+  calls; each worker caches its oracle per name, and results are
   returned in full and keyed by index (duplicate trace names cannot
   collide).  Workers exchange trace *text*, mirroring the paper's
   process-per-trace architecture.
+
+Checking is oracle-driven: the ``model`` parameter is an oracle name
+resolved through :mod:`repro.oracle` — a plain platform (``"linux"``)
+behaves exactly as before, while ``"all"`` / ``"vectored:A+B"`` runs
+the one-pass multi-platform oracle and every outcome carries the full
+per-platform :class:`~repro.oracle.ConformanceProfile` tuple.  Cached
+oracle instances keep their prefix-memoization caches warm across
+calls (and across a worker's whole life under the pool).
 
 Backends yield results as they complete, which is what makes
 ``Session.iter_checked()`` a true streaming iterator.
@@ -26,7 +34,7 @@ import dataclasses
 import multiprocessing
 import threading
 import time
-from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
+from typing import (Callable, FrozenSet, Iterable, Iterator, List,
                     Optional, Sequence, Tuple)
 
 try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
@@ -37,11 +45,11 @@ except ImportError:  # pragma: no cover
     def runtime_checkable(cls):  # type: ignore[misc]
         return cls
 
-from repro.checker.checker import CheckedTrace, TraceChecker
+from repro.checker.checker import CheckedTrace
 from repro.core.coverage import REGISTRY
-from repro.core.platform import spec_by_name
 from repro.executor.executor import execute_script
 from repro.fsimpl.quirks import Quirks
+from repro.oracle import ConformanceProfile, Oracle, get_oracle
 from repro.script.ast import Script, Trace
 from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
@@ -56,11 +64,15 @@ class CheckOutcome:
 
     ``covered`` is empty unless coverage collection was requested; with
     a process backend it is how per-worker coverage hits travel back to
-    the parent process.
+    the parent process.  ``profiles`` carries the oracle's full
+    per-platform verdict — one entry for a plain model oracle, one per
+    platform for a vectored run; ``checked`` is always the primary
+    (first) profile's legacy view.
     """
 
     checked: CheckedTrace
     covered: FrozenSet[str] = frozenset()
+    profiles: Tuple[ConformanceProfile, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,24 +151,26 @@ class _BackendBase:
 
 
 class SerialBackend(_BackendBase):
-    """In-process backend with a per-model :class:`TraceChecker` cache.
+    """In-process backend with a per-name :class:`~repro.oracle.Oracle`
+    cache.
 
     The cache is what a long-lived :class:`repro.api.Session` (or a
     survey over many configurations sharing one backend) saves compared
-    to the old free functions, which rebuilt the checker per call.
+    to the old free functions, which rebuilt the checker per call — the
+    oracle instance carries its prefix-memoization cache across every
+    trace the backend ever checks against that name.
     """
 
     name = "serial"
 
-    def __init__(self) -> None:
-        self._checkers: Dict[str, TraceChecker] = {}
-
-    def _checker(self, model: str) -> TraceChecker:
-        checker = self._checkers.get(model)
-        if checker is None:
-            checker = TraceChecker(spec_by_name(model))
-            self._checkers[model] = checker
-        return checker
+    def _oracle(self, model: str,
+                collect_coverage: bool = False) -> Oracle:
+        # get_oracle memoizes per (name, cache) process-wide, so the
+        # prefix cache stays warm across calls and sessions without a
+        # second memo layer (which would serve stale instances after
+        # register_oracle(replace=True)).  Coverage collection gets an
+        # uncached oracle: prefix hits would skip clause evaluations.
+        return get_oracle(model, cache=not collect_coverage)
 
     def execute_iter(self, quirks: Quirks,
                      scripts: Iterable[Script]) -> Iterator[Trace]:
@@ -166,71 +180,70 @@ class SerialBackend(_BackendBase):
     def check_iter(self, model: str, traces: Sequence[Trace], *,
                    collect_coverage: bool = False
                    ) -> Iterator[CheckOutcome]:
-        checker = self._checker(model)
+        oracle = self._oracle(model, collect_coverage)
         for trace in traces:
             if collect_coverage:
                 REGISTRY.reset_hits()
-                checked = checker.check(trace)
-                yield CheckOutcome(checked, REGISTRY.hit_names())
-            else:
-                yield CheckOutcome(checker.check(trace))
+            verdict = oracle.check(trace)
+            covered = (REGISTRY.hit_names() if collect_coverage
+                       else frozenset())
+            yield CheckOutcome(verdict.primary_checked, covered,
+                               verdict.profiles)
 
     def run_iter(self, quirks: Quirks, model: str,
                  scripts: Iterable[Script], *,
                  collect_coverage: bool = False
                  ) -> Iterator[RunRecord]:
-        checker = self._checker(model)
+        oracle = self._oracle(model, collect_coverage)
         for script in scripts:
             t0 = time.perf_counter()
             trace = execute_script(quirks, script)
             t1 = time.perf_counter()
             if collect_coverage:
                 REGISTRY.reset_hits()
-            checked = checker.check(trace)
+            verdict = oracle.check(trace)
             t2 = time.perf_counter()
             covered = (REGISTRY.hit_names() if collect_coverage
                        else frozenset())
             yield RunRecord(target_function=script.target_function,
-                            outcome=CheckOutcome(checked, covered),
+                            outcome=CheckOutcome(verdict.primary_checked,
+                                                 covered,
+                                                 verdict.profiles),
                             exec_seconds=t1 - t0,
                             check_seconds=t2 - t1)
 
 
 # -- process-pool worker side -------------------------------------------------
 
-#: Per-worker checker cache, keyed by model name.  Populated lazily in
-#: each worker process; this is the "per-worker TraceChecker/spec
-#: caching" that replaces per-trace checker construction.
-_WORKER_CHECKERS: Dict[str, TraceChecker] = {}
+def _worker_oracle(model: str, collect_coverage: bool) -> Oracle:
+    """The worker-process oracle for a name.
 
-
-def _worker_checker(model: str) -> TraceChecker:
-    checker = _WORKER_CHECKERS.get(model)
-    if checker is None:
-        checker = TraceChecker(spec_by_name(model))
-        _WORKER_CHECKERS[model] = checker
-    return checker
+    :func:`repro.oracle.get_oracle` memoizes per process, so each
+    worker keeps one oracle (and one warm prefix cache) per name for
+    its whole life — the per-worker caching that replaces per-trace
+    checker construction.
+    """
+    return get_oracle(model, cache=not collect_coverage)
 
 
 def _check_worker(args: Tuple[int, str, str, bool]
-                  ) -> Tuple[int, tuple, int, int, bool, tuple]:
+                  ) -> Tuple[int, tuple, tuple]:
     """Check one trace; return *full* results keyed by index.
 
-    Returning every :class:`CheckedTrace` field (not just deviations)
-    and the payload index — rather than the trace name — means duplicate
-    script names cannot collide and ``pruned``/``labels_checked`` are
-    not reconstructed lossily in the parent.
+    Returning the complete per-platform profile tuple (frozen
+    dataclasses, one per platform of the oracle) and the payload index
+    — rather than the trace name — means duplicate script names cannot
+    collide and nothing is reconstructed lossily in the parent.
     """
     index, model, trace_text, collect_coverage = args
-    checker = _worker_checker(model)
+    oracle = _worker_oracle(model, collect_coverage)
     trace = parse_trace(trace_text)
     if collect_coverage:
         REGISTRY.reset_hits()
-    checked = checker.check(trace)
+    verdict = oracle.check(trace)
     covered = (tuple(sorted(REGISTRY.hit_names()))
                if collect_coverage else ())
-    return (index, checked.deviations, checked.max_state_set,
-            checked.labels_checked, checked.pruned, covered)
+    return (index, verdict.profiles, covered)
 
 
 def _execute_worker(args: Tuple[int, Quirks, Script]) -> Tuple[int, str]:
@@ -244,24 +257,22 @@ def _run_worker(args: Tuple[int, Quirks, Script, str, bool]) -> tuple:
 
     Both phases run on the worker so a generated script makes a single
     trip through the pool; the parent gets the trace back as text (the
-    exact round-tripping format) plus the full checked fields, keyed by
-    index as in :func:`_check_worker`.
+    exact round-tripping format) plus the full per-platform profiles,
+    keyed by index as in :func:`_check_worker`.
     """
     index, quirks, script, model, collect_coverage = args
     t0 = time.perf_counter()
     trace = execute_script(quirks, script)
     t1 = time.perf_counter()
-    checker = _worker_checker(model)
+    oracle = _worker_oracle(model, collect_coverage)
     if collect_coverage:
         REGISTRY.reset_hits()
-    checked = checker.check(trace)
+    verdict = oracle.check(trace)
     t2 = time.perf_counter()
     covered = (tuple(sorted(REGISTRY.hit_names()))
                if collect_coverage else ())
     return (index, script.target_function, print_trace(trace),
-            checked.deviations, checked.max_state_set,
-            checked.labels_checked, checked.pruned, covered,
-            t1 - t0, t2 - t1)
+            verdict.profiles, covered, t1 - t0, t2 - t1)
 
 
 class ProcessPoolBackend(_BackendBase):
@@ -326,17 +337,12 @@ class ProcessPoolBackend(_BackendBase):
         pool = self._ensure_pool()
         payload = ((i, model, print_trace(trace), collect_coverage)
                    for i, trace in enumerate(traces))
-        for (index, deviations, max_states, labels, pruned,
-             covered) in pool.imap(
+        for index, profiles, covered in pool.imap(
                 _check_worker, payload,
                 chunksize=self.pick_chunksize(len(traces))):
             yield CheckOutcome(
-                CheckedTrace(trace=traces[index],
-                             deviations=deviations,
-                             max_state_set=max_states,
-                             labels_checked=labels,
-                             pruned=pruned),
-                frozenset(covered))
+                profiles[0].as_checked(traces[index]),
+                frozenset(covered), profiles)
 
     def stream_chunksize(self) -> int:
         """The chunksize for a stream of unknown length: the configured
@@ -375,19 +381,15 @@ class ProcessPoolBackend(_BackendBase):
                 yield (index, quirks, script, model, collect_coverage)
 
         try:
-            for (index, target, trace_text, deviations, max_states,
-                 labels, pruned, covered, exec_s, check_s) in pool.imap(
+            for (index, target, trace_text, profiles, covered, exec_s,
+                 check_s) in pool.imap(
                     _run_worker, payload(), chunksize=chunk):
                 in_flight.release()
                 yield RunRecord(
                     target_function=target,
                     outcome=CheckOutcome(
-                        CheckedTrace(trace=parse_trace(trace_text),
-                                     deviations=deviations,
-                                     max_state_set=max_states,
-                                     labels_checked=labels,
-                                     pruned=pruned),
-                        frozenset(covered)),
+                        profiles[0].as_checked(parse_trace(trace_text)),
+                        frozenset(covered), profiles),
                     exec_seconds=exec_s, check_seconds=check_s)
         finally:
             stop.set()

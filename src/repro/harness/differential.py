@@ -103,11 +103,13 @@ def differential_run(left: str | Quirks, right: str | Quirks,
     ``scripts`` may be a materialised suite or a
     :class:`repro.gen.TestPlan`, in which case each side streams the
     plan's generator independently (re-iterable by construction) and
-    the suite is never held in memory.  ``model`` defaults to the
-    *left* configuration's platform: the typical use is comparing a
-    known-good baseline against a port or a new file system on the same
-    platform.  Execution and conformance checking run on ``backend``
-    (default serial); only the traces that actually differ are checked.
+    the suite is never held in memory.  ``model`` is an oracle name
+    resolved through :mod:`repro.oracle` — a platform (default: the
+    *left* configuration's platform, the typical baseline-vs-port
+    comparison), ``"all"``, or any ``"vectored:A+B"`` combination;
+    conformance of each side is the oracle's primary verdict.
+    Execution and checking run on ``backend`` (default serial); only
+    the traces that actually differ are checked.
     """
     left_q = left if isinstance(left, Quirks) else config_by_name(left)
     right_q = right if isinstance(right, Quirks) else \

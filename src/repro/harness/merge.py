@@ -1,18 +1,28 @@
-"""Merging results across configurations (paper section 2).
+"""Merging results across configurations and platforms (paper §2).
 
 "To analyse the results of multiple runs, the system can intelligently
 combine the results across many different platforms, merging behaviours
 common to many runs and highlighting the differences."  A merged view
 groups identical deviations and records which configurations exhibit
 each — the raw material of the section 7.3 survey.
+
+Two merge axes share one record shape:
+
+* :func:`merge_results` merges *across configurations* (suite results
+  or run artifacts, as before);
+* :func:`merge_verdicts` merges *across platforms* from multi-platform
+  oracle verdicts — the one-pass vectored check of a trace set folded
+  into "which model variants exhibit which deviation".
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.core.platform import real_platforms
 from repro.harness.run import SuiteResult, as_suite_result
+from repro.oracle import Verdict
 
 
 @dataclasses.dataclass(frozen=True)
@@ -28,6 +38,13 @@ class DeviationRecord:
     @property
     def ubiquity(self) -> int:
         return len(self.configs)
+
+    @property
+    def spans_real_platforms(self) -> bool:
+        """True when every real-world platform variant exhibits this
+        deviation (meaningful for platform-axis merges): such a
+        deviation is a property of the trace, not of any one model."""
+        return set(real_platforms()) <= set(self.configs)
 
 
 def merge_results(results: Sequence) -> List[DeviationRecord]:
@@ -47,6 +64,32 @@ def merge_results(results: Sequence) -> List[DeviationRecord]:
                 key = (failure.trace_name, dev.kind, dev.observed,
                        dev.allowed)
                 grouped.setdefault(key, []).append(result.config)
+    return _records(grouped)
+
+
+def merge_verdicts(verdicts: Iterable[Verdict]) -> List[DeviationRecord]:
+    """Group identical deviations across *platforms* from
+    multi-platform oracle verdicts.
+
+    One vectored pass over a trace set yields, per trace, a profile per
+    model variant; this merge folds them into deviation records whose
+    ``configs`` are platform names — the "merge view" of checking the
+    same trace against several model variants.  A record spanning every
+    real platform (:attr:`DeviationRecord.spans_real_platforms`)
+    indicts the trace; a record unique to one platform pinpoints a
+    platform-specific convention.
+    """
+    grouped: Dict[Tuple, List[str]] = {}
+    for verdict in verdicts:
+        for profile in verdict.profiles:
+            for dev in profile.deviations:
+                key = (verdict.trace.name, dev.kind, dev.observed,
+                       dev.allowed)
+                grouped.setdefault(key, []).append(profile.platform)
+    return _records(grouped)
+
+
+def _records(grouped: Dict[Tuple, List[str]]) -> List[DeviationRecord]:
     records = [
         DeviationRecord(trace_name=key[0], kind=key[1], observed=key[2],
                         allowed=key[3],

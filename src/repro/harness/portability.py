@@ -3,18 +3,26 @@
 "With modest additional engineering, SibylFS could support analysis of
 API traces of applications, identifying when they rely on non-portable
 aspects of the model."  Given a trace (e.g. recorded from an
-application), :func:`analyse_portability` checks it against every model
-variant and reports which platforms allow it, pinpointing the first
-non-portable step for each rejecting platform.
+application), :func:`portability_report` folds a multi-platform
+:class:`~repro.oracle.Verdict` — one vectored state-set pass over every
+model variant — into a report of which platforms allow the trace,
+pinpointing the first non-portable step for each rejecting platform.
+
+.. deprecated::
+    :func:`analyse_portability` remains as a shim (same report, built
+    by asking the ``"all"`` oracle); new code should check once via
+    :func:`repro.oracle.get_oracle` and keep the verdict — the same
+    pass also answers the merge and survey questions.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Tuple
 
-from repro.checker.checker import TraceChecker
-from repro.core.platform import SPECS
+from repro.core.platform import real_platforms
+from repro.oracle import Verdict, get_oracle
 from repro.script.ast import Trace
 
 
@@ -28,10 +36,9 @@ class PortabilityReport:
 
     @property
     def portable(self) -> bool:
-        """Portable = allowed by every platform variant (and therefore
-        by the loose POSIX envelope as well)."""
-        real_world = [p for p in SPECS if p != "posix"]
-        return all(p in self.accepted_on for p in real_world)
+        """Portable = allowed by every real-world platform variant (and
+        therefore by the loose POSIX envelope as well)."""
+        return all(p in self.accepted_on for p in real_platforms())
 
     def render(self) -> str:
         lines = [f"trace: {self.trace_name}",
@@ -43,20 +50,38 @@ class PortabilityReport:
         return "\n".join(lines)
 
 
-def analyse_portability(trace: Trace) -> PortabilityReport:
-    """Check ``trace`` against all four model variants."""
+def portability_report(verdict: Verdict) -> PortabilityReport:
+    """Fold a multi-platform verdict into a portability report.
+
+    The verdict should cover every variant (the ``"all"`` oracle); a
+    narrower verdict yields a report over just the platforms it checked.
+    """
     accepted: List[str] = []
     rejected: Dict[str, Tuple[str, ...]] = {}
-    for name, spec in SPECS.items():
-        checked = TraceChecker(spec).check(trace)
-        if checked.accepted:
-            accepted.append(name)
+    for profile in verdict.profiles:
+        if profile.accepted:
+            accepted.append(profile.platform)
         else:
-            rejected[name] = tuple(
+            rejected[profile.platform] = tuple(
                 f"line {d.line_no}: {d.message}"
                 + (f" (allowed: {', '.join(d.allowed)})" if d.allowed
                    else "")
-                for d in checked.deviations)
-    return PortabilityReport(trace_name=trace.name,
+                for d in profile.deviations)
+    return PortabilityReport(trace_name=verdict.trace.name,
                              accepted_on=tuple(accepted),
                              rejected_on=rejected)
+
+
+def analyse_portability(trace: Trace) -> PortabilityReport:
+    """Check ``trace`` against all four model variants.
+
+    .. deprecated:: prefer ``portability_report(get_oracle("all")
+        .check(trace))`` — the verdict carries the full per-platform
+        profiles, not just the folded report.
+    """
+    warnings.warn(
+        "repro.harness.analyse_portability is deprecated; use "
+        "repro.oracle.get_oracle('all').check(trace) and "
+        "portability_report(verdict)",
+        DeprecationWarning, stacklevel=2)
+    return portability_report(get_oracle("all").check(trace))

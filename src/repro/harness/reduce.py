@@ -5,7 +5,9 @@ script that produces a failing trace on some configuration, ddmin-style
 delta debugging shrinks it to a locally-minimal script that still fails:
 every single remaining step is necessary.  The oracle makes this
 possible without any per-test expected outcome — each candidate is
-simply re-executed and re-checked.
+simply re-executed and re-checked.  Checking goes through
+:mod:`repro.oracle`, whose prefix memoization pays off here: ddmin
+candidates share long unchanged prefixes by construction.
 """
 
 from __future__ import annotations
@@ -13,19 +15,18 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional, Sequence
 
-from repro.checker.checker import TraceChecker
-from repro.core.platform import spec_by_name
 from repro.executor.executor import execute_script
 from repro.fsimpl.configs import config_by_name
 from repro.fsimpl.quirks import Quirks
+from repro.oracle import Oracle, get_oracle
 from repro.script.ast import Script, ScriptItem
 
 
-def _fails(quirks: Quirks, checker: TraceChecker,
+def _fails(quirks: Quirks, oracle: Oracle,
            items: Sequence[ScriptItem], name: str) -> bool:
     candidate = Script(name=name, items=tuple(items))
     trace = execute_script(quirks, candidate)
-    return not checker.check(trace).accepted
+    return not oracle.check(trace).accepted
 
 
 def script_fails(config: str | Quirks, script: Script,
@@ -33,8 +34,8 @@ def script_fails(config: str | Quirks, script: Script,
     """Does this script produce a non-conformant trace on ``config``?"""
     quirks = config if isinstance(config, Quirks) else \
         config_by_name(config)
-    checker = TraceChecker(spec_by_name(model or quirks.platform))
-    return _fails(quirks, checker, list(script.items), script.name)
+    oracle = get_oracle(model or quirks.platform)
+    return _fails(quirks, oracle, list(script.items), script.name)
 
 
 def reduce_script(config: str | Quirks, script: Script,
@@ -49,9 +50,9 @@ def reduce_script(config: str | Quirks, script: Script,
     """
     quirks = config if isinstance(config, Quirks) else \
         config_by_name(config)
-    checker = TraceChecker(spec_by_name(model or quirks.platform))
+    oracle = get_oracle(model or quirks.platform)
     items: List[ScriptItem] = list(script.items)
-    if not _fails(quirks, checker, items, script.name):
+    if not _fails(quirks, oracle, items, script.name):
         return script
 
     chunk = max(1, len(items) // 2)
@@ -62,7 +63,7 @@ def reduce_script(config: str | Quirks, script: Script,
         start = 0
         while start < len(items):
             candidate = items[:start] + items[start + chunk:]
-            if candidate and _fails(quirks, checker, candidate,
+            if candidate and _fails(quirks, oracle, candidate,
                                     script.name):
                 items = candidate
                 reduced_this_round = True
@@ -85,13 +86,13 @@ def is_one_minimal(config: str | Quirks, script: Script,
     """True if removing any single step makes the script stop failing."""
     quirks = config if isinstance(config, Quirks) else \
         config_by_name(config)
-    checker = TraceChecker(spec_by_name(model or quirks.platform))
+    oracle = get_oracle(model or quirks.platform)
     items = list(script.items)
-    if not _fails(quirks, checker, items, script.name):
+    if not _fails(quirks, oracle, items, script.name):
         return False
     for index in range(len(items)):
         candidate = items[:index] + items[index + 1:]
-        if candidate and _fails(quirks, checker, candidate,
+        if candidate and _fails(quirks, oracle, candidate,
                                 script.name):
             return False
     return True

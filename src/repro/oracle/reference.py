@@ -1,0 +1,151 @@
+"""The determinized model as a triage oracle (paper section 8).
+
+The paper notes SibylFS can serve as a reference implementation "by
+determinizing the model (selecting one of the many possible states at
+each step)".  :class:`ReferenceOracle` turns that determinization
+(:class:`repro.fsimpl.kernel.KernelFS`, the engine under
+:class:`~repro.fsimpl.modelfs.ReferenceFS`) into a fast accept/reject
+triage oracle: it replays the trace's calls against a quirk-free kernel
+for the platform and compares every observed return with the
+determinized one.
+
+Soundness is one-sided: the determinizer always picks from the model's
+allowed outcome set, so a trace whose returns all *match* is inside the
+envelope — acceptance is exact, at a fraction of the state-set cost (no
+sets, no tau closure, no partial-I/O enumeration).  A mismatch only
+means the trace strayed from the one determinized path; the envelope
+may still allow it.  Pass ``fallback`` (typically a
+:class:`~repro.oracle.vectored.ModelOracle`) to escalate mismatches to
+the full state-set check, making the combination exact in both
+directions while keeping the common accept path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.checker.checker import Deviation
+from repro.core import commands as C
+from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsReturn,
+                               OsSignal, OsSpin)
+from repro.core.values import render_return
+from repro.fsimpl.kernel import KernelFS, SignalKill, SpinHang
+from repro.fsimpl.quirks import Quirks
+from repro.oracle.base import Oracle
+from repro.oracle.verdict import ConformanceProfile, Verdict
+from repro.script.ast import Trace
+
+
+class ReferenceOracle:
+    """Replay a trace against the determinized reference kernel."""
+
+    def __init__(self, platform: str = "posix",
+                 fallback: Optional[Oracle] = None,
+                 default_uid: int = 0, default_gid: int = 0) -> None:
+        self.platform = platform
+        self.platforms = (platform,)
+        self.fallback = fallback
+        self.default_uid = default_uid
+        self.default_gid = default_gid
+        #: Traces accepted on the fast path vs escalated/rejected.
+        self.fast_accepts = 0
+        self.escalations = 0
+
+    @property
+    def name(self) -> str:
+        base = f"reference:{self.platform}"
+        return f"{base}+fallback" if self.fallback is not None else base
+
+    def _fresh_kernel(self) -> KernelFS:
+        return KernelFS(Quirks(name=f"reference-{self.platform}",
+                               platform=self.platform,
+                               chroot_root_nlink_off_by_one=False))
+
+    def _replay(self, trace: Trace) -> Optional[Deviation]:
+        """The first determinization mismatch, or None on full match.
+
+        Pending calls execute at their *return* point — one specific
+        interleaving the state-set checker also explores, so a full
+        match is inside the model envelope.  The structural rules the
+        model enforces (one call in flight per process, no call or
+        destroy on a dead process, no duplicate create) are checked
+        here as well: the determinized kernel is tolerant of some of
+        them, and silently replaying what the model rejects would make
+        the fast-accept path unsound.
+        """
+        kernel = self._fresh_kernel()
+        pending: Dict[int, C.OsCommand] = {}
+        live: set = set()
+        ever_created: set = set()
+        for event in trace.events:
+            label = event.label
+
+            def mismatch(kind: str, observed: str, allowed=()):
+                return Deviation(
+                    line_no=event.line_no, kind=kind,
+                    observed=observed, allowed=tuple(allowed),
+                    message=f"reference divergence: {observed}")
+
+            if isinstance(label, OsCreate):
+                if label.pid in live:
+                    return mismatch("structural", label.render())
+                kernel.create_process(label.pid, label.uid, label.gid)
+                live.add(label.pid)
+                ever_created.add(label.pid)
+            elif isinstance(label, OsDestroy):
+                if label.pid not in live or label.pid in pending:
+                    return mismatch("structural", label.render())
+                kernel.destroy_process(label.pid)
+                live.discard(label.pid)
+            elif isinstance(label, OsCall):
+                if label.pid in pending:
+                    # A second call while one is in flight: the model
+                    # requires the process to be running again first.
+                    return mismatch("structural", label.render())
+                if label.pid not in live:
+                    if label.pid in ever_created:
+                        # Calling a destroyed process is never allowed.
+                        return mismatch("structural", label.render())
+                    kernel.create_process(label.pid, self.default_uid,
+                                          self.default_gid)
+                    live.add(label.pid)
+                    ever_created.add(label.pid)
+                pending[label.pid] = label.cmd
+            elif isinstance(label, OsReturn):
+                cmd = pending.pop(label.pid, None)
+                if cmd is None:
+                    return mismatch("structural", label.render())
+                try:
+                    ret = kernel.call(label.pid, cmd)
+                except (SignalKill, SpinHang):
+                    return mismatch("return-mismatch",
+                                    render_return(label.ret))
+                if ret != label.ret:
+                    return mismatch("return-mismatch",
+                                    render_return(label.ret),
+                                    (render_return(ret),))
+            elif isinstance(label, (OsSignal, OsSpin)):
+                # The reference never signals or spins: any observed
+                # process-level misbehaviour diverges immediately.
+                kind = ("signal" if isinstance(label, OsSignal)
+                        else "spin")
+                return mismatch(kind, label.render())
+        return None
+
+    def check(self, trace: Trace) -> Verdict:
+        deviation = self._replay(trace)
+        if deviation is None:
+            self.fast_accepts += 1
+            return Verdict(trace=trace, profiles=(
+                ConformanceProfile(platform=self.platform,
+                                   deviations=(),
+                                   max_state_set=1,
+                                   labels_checked=len(trace.events)),))
+        if self.fallback is not None:
+            self.escalations += 1
+            return self.fallback.check(trace)
+        return Verdict(trace=trace, profiles=(
+            ConformanceProfile(platform=self.platform,
+                               deviations=(deviation,),
+                               max_state_set=1,
+                               labels_checked=len(trace.events)),))

@@ -1,0 +1,332 @@
+"""Vectored state-set checking: all platforms in one exploration.
+
+The paper's headline analyses — the section 7.3 survey, the merge view
+and the section 9 portability analysis — all ask the same question of
+several model variants.  Checked naively that costs one full state-set
+pass per :class:`~repro.core.platform.PlatformSpec`, although the four
+specs agree on the vast majority of transitions.
+
+:class:`VectoredOracle` runs **one** exploration carrying a
+platform-membership bitmask on every tracked state: a state's bit *i*
+is set iff the state is reachable under platform *i*.  Everything the
+transition function does identically across specs is then done once —
+CALL / RETURN / CREATE / DESTROY label application never consults the
+spec (only the internal tau transition does), and states common to
+several platforms are stored, hashed and matched once instead of once
+per platform.  Tau transitions are evaluated per spec bit, which keeps
+each platform's reachable set *exactly* what an independent
+``TraceChecker`` pass would compute; per-platform deviations, recovery,
+pruning and ``max_state_set`` bookkeeping replicate the checker's logic
+bit-for-bit (test-enforced parity).
+
+A :class:`~repro.oracle.cache.PrefixCache` memoizes clean label
+prefixes, so suites whose scripts share generated setup scaffolding
+(most of ``testgen``'s families) skip re-exploring common prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.checker.checker import (Deviation, TraceChecker,
+                                   _recover, implicit_creates)
+from repro.core.labels import (OsLabel, OsReturn, OsSignal, OsSpin,
+                               OsTau)
+from repro.core.platform import PlatformSpec, spec_by_name
+from repro.core.values import render_return
+from repro.oracle.cache import PrefixCache
+from repro.oracle.verdict import ConformanceProfile, Verdict
+from repro.osapi.os_state import OsStateOrSpecial, initial_os_state
+from repro.osapi.transition import allowed_returns, os_trans, tau_closure
+from repro.script.ast import Trace
+
+#: State -> platform-membership bitmask (bit i = reachable on
+#: ``platforms[i]``).
+MaskedStates = Dict[OsStateOrSpecial, int]
+
+#: Shared tau label instance (frozen, stateless).
+_TAU = OsTau()
+
+
+class VectoredOracle:
+    """One state-set pass over any number of platform variants.
+
+    Parameters mirror :class:`repro.checker.checker.TraceChecker`
+    (groups, max_states, default credentials) and apply to every
+    platform.  ``cache`` is ``True`` for a private
+    :class:`PrefixCache`, ``False``/``None`` to disable memoization, or
+    an explicit instance to share one cache across oracles.
+    """
+
+    def __init__(self, platforms: Sequence[Union[str, PlatformSpec]], *,
+                 groups: dict | None = None,
+                 max_states: int = TraceChecker.DEFAULT_MAX_STATES,
+                 default_uid: int = 0, default_gid: int = 0,
+                 cache: Union[PrefixCache, bool, None] = True) -> None:
+        if not platforms:
+            raise ValueError("an oracle needs at least one platform")
+        self.specs: Tuple[PlatformSpec, ...] = tuple(
+            p if isinstance(p, PlatformSpec) else spec_by_name(p)
+            for p in platforms)
+        self.platforms: Tuple[str, ...] = tuple(
+            spec.name for spec in self.specs)
+        if len(set(self.platforms)) != len(self.platforms):
+            raise ValueError(
+                f"duplicate platforms: {', '.join(self.platforms)}")
+        self.groups = groups or {}
+        self.max_states = max_states
+        self.default_uid = default_uid
+        self.default_gid = default_gid
+        if cache is True:
+            self._cache: Optional[PrefixCache] = PrefixCache()
+        elif cache:
+            self._cache = cache
+        else:
+            self._cache = None
+        # Snapshots are only valid for an identical checking
+        # configuration: a shared cache partitions its trie by this key
+        # so e.g. a linux and an osx oracle never trade snapshots.
+        self._cache_key = (
+            self.platforms, self.max_states, self.default_uid,
+            self.default_gid,
+            tuple(sorted((gid, tuple(sorted(members)))
+                         for gid, members in self.groups.items())))
+
+    @property
+    def name(self) -> str:
+        if len(self.platforms) == 1:
+            return self.platforms[0]
+        return "vectored:" + "+".join(self.platforms)
+
+    @property
+    def cache(self) -> Optional[PrefixCache]:
+        return self._cache
+
+    # -- vectored transition plumbing -----------------------------------------
+
+    def _apply_shared(self, states: MaskedStates,
+                      label: OsLabel) -> MaskedStates:
+        """Apply a non-tau label once, carrying masks through.
+
+        ``os_trans`` consults the spec only on the internal tau
+        transition; CALL / RETURN / CREATE / DESTROY application is
+        platform-independent, so one evaluation per *state* serves
+        every platform in its mask.
+        """
+        spec = self.specs[0]
+        out: MaskedStates = {}
+        for state, mask in states.items():
+            for succ in os_trans(spec, state, label):
+                out[succ] = out.get(succ, 0) | mask
+        return out
+
+    def _closure(self, states: MaskedStates) -> MaskedStates:
+        """Per-platform tau closure over the shared state-mask table.
+
+        Tau outcomes depend on the spec, so the worklist processes
+        (state, new-bits) pairs: each platform's reachable set grows
+        exactly as its own :func:`tau_closure` would, but states shared
+        by several platforms are stored and deduplicated once.
+        """
+        if len(self.specs) == 1:
+            # Single platform: the checker's own closure, mask intact.
+            closed = tau_closure(self.specs[0], frozenset(states))
+            return {state: 1 for state in closed}
+        acc: MaskedStates = dict(states)
+        work: List[Tuple[OsStateOrSpecial, int]] = list(states.items())
+        while work:
+            state, bits = work.pop()
+            for i, spec in enumerate(self.specs):
+                if not (bits >> i) & 1:
+                    continue
+                bit = 1 << i
+                for succ in os_trans(spec, state, _TAU):
+                    old = acc.get(succ, 0)
+                    if not old & bit:
+                        acc[succ] = old | bit
+                        work.append((succ, bit))
+        return acc
+
+    def _members(self, states: MaskedStates,
+                 i: int) -> List[OsStateOrSpecial]:
+        bit = 1 << i
+        return [state for state, mask in states.items() if mask & bit]
+
+    def _prune_platform(self, states: MaskedStates,
+                        i: int) -> Tuple[MaskedStates, bool]:
+        """Platform-local pruning, matching ``TraceChecker``'s
+        deterministic keep-by-repr rule."""
+        members = self._members(states, i)
+        if len(members) <= self.max_states:
+            return states, False
+        keep = set(sorted(members, key=repr)[: self.max_states])
+        bit = 1 << i
+        out: MaskedStates = {}
+        for state, mask in states.items():
+            if mask & bit and state not in keep:
+                mask &= ~bit
+            if mask:
+                out[state] = mask
+        return out, True
+
+    # -- the check loop -------------------------------------------------------
+
+    def check(self, trace: Trace) -> Verdict:
+        n = len(self.specs)
+        full = (1 << n) - 1
+        states: MaskedStates = {initial_os_state(self.groups): full}
+        devs: List[List[Deviation]] = [[] for _ in range(n)]
+        maxs: List[int] = [1] * n
+        pruned: List[bool] = [False] * n
+        labels = 0
+
+        cache = self._cache
+        node = (cache.root(self._cache_key) if cache is not None
+                else None)
+
+        def snapshot() -> Tuple[tuple, tuple]:
+            return (tuple(states.items()), tuple(maxs))
+
+        def walk(label: OsLabel) -> bool:
+            """Advance the trie; True if a snapshot was restored."""
+            nonlocal node, states, maxs
+            hit = cache.lookup(node, label)
+            if hit is not None:
+                items, cached_maxs = hit.snapshot
+                states = dict(items)
+                maxs = list(cached_maxs)
+                node = hit
+                return True
+            return False
+
+        def store(label: OsLabel) -> None:
+            nonlocal node
+            if any(devs_i for devs_i in devs) or any(pruned):
+                node = None
+                return
+            node = cache.extend(node, label, snapshot())
+
+        # Implicit creates are part of the memoized path: traces that
+        # share visible labels but differ in process population must
+        # not share snapshots.
+        for create in implicit_creates(trace, self.default_uid,
+                                       self.default_gid):
+            if node is not None and walk(create):
+                continue
+            states = self._apply_shared(states, create)
+            if node is not None:
+                store(create)
+
+        for event in trace.events:
+            label = event.label
+            labels += 1
+            if node is not None and walk(label):
+                continue
+
+            if isinstance(label, (OsSignal, OsSpin)):
+                # The model never allows a call to kill or hang a
+                # process: a deviation on every platform.
+                kind = ("signal" if isinstance(label, OsSignal)
+                        else "spin")
+                deviation = Deviation(
+                    line_no=event.line_no, kind=kind,
+                    observed=label.render(), allowed=(),
+                    message=f"process-level misbehaviour: "
+                            f"{label.render()}")
+                for i in range(n):
+                    devs[i].append(deviation)
+                node = None
+                continue
+
+            if isinstance(label, OsReturn):
+                closed = self._closure(states)
+                for i in range(n):
+                    maxs[i] = max(maxs[i], len(self._members(closed, i)))
+                nxt = self._apply_shared(closed, label)
+                alive = 0
+                for mask in nxt.values():
+                    alive |= mask
+                stuck = full & ~alive
+                if stuck:
+                    for i in range(n):
+                        if not (stuck >> i) & 1:
+                            continue
+                        closed_i = frozenset(self._members(closed, i))
+                        allowed = allowed_returns(closed_i, label.pid)
+                        allowed_strs = tuple(sorted(
+                            render_return(r) for r in allowed))
+                        devs[i].append(Deviation(
+                            line_no=event.line_no,
+                            kind="return-mismatch",
+                            observed=render_return(label.ret),
+                            allowed=allowed_strs,
+                            message=f"unexpected results: "
+                                    f"{render_return(label.ret)}"))
+                        recovered = _recover(closed_i, label.pid) \
+                            or closed_i
+                        bit = 1 << i
+                        for state in recovered:
+                            nxt[state] = nxt.get(state, 0) | bit
+                states = nxt
+                for i in range(n):
+                    states, did = self._prune_platform(states, i)
+                    pruned[i] = pruned[i] or did
+                if node is not None:
+                    store(label)
+                continue
+
+            # CALL / CREATE / DESTROY.
+            nxt = self._apply_shared(states, label)
+            alive = 0
+            for mask in nxt.values():
+                alive |= mask
+            stuck = full & ~alive
+            if stuck:
+                deviation = Deviation(
+                    line_no=event.line_no, kind="structural",
+                    observed=label.render(), allowed=(),
+                    message=f"label not allowed here: {label.render()}")
+                for i in range(n):
+                    if (stuck >> i) & 1:
+                        devs[i].append(deviation)
+                # Stuck platforms keep their previous states, exactly
+                # as the checker leaves `states` unchanged.
+                for state, mask in states.items():
+                    held = mask & stuck
+                    if held:
+                        nxt[state] = nxt.get(state, 0) | held
+            states = nxt
+            if node is not None:
+                store(label)
+
+        return Verdict(trace=trace, profiles=tuple(
+            ConformanceProfile(platform=self.platforms[i],
+                               deviations=tuple(devs[i]),
+                               max_state_set=maxs[i],
+                               labels_checked=labels,
+                               pruned=pruned[i])
+            for i in range(n)))
+
+
+class ModelOracle(VectoredOracle):
+    """One platform variant of the model as an oracle.
+
+    The single-platform degenerate case of the vectored engine: its
+    verdict's one profile is identical to a
+    :class:`~repro.checker.checker.TraceChecker` pass (parity is
+    test-enforced), plus prefix memoization.
+    """
+
+    def __init__(self, platform: Union[str, PlatformSpec], *,
+                 groups: dict | None = None,
+                 max_states: int = TraceChecker.DEFAULT_MAX_STATES,
+                 default_uid: int = 0, default_gid: int = 0,
+                 cache: Union[PrefixCache, bool, None] = True) -> None:
+        super().__init__((platform,), groups=groups,
+                         max_states=max_states,
+                         default_uid=default_uid,
+                         default_gid=default_gid, cache=cache)
+
+    @property
+    def platform(self) -> str:
+        return self.platforms[0]

@@ -70,16 +70,16 @@ class TestSessionOnePass:
         assert tuple(checked) == artifact.checked
 
     def test_exact_length_consumption_caches_artifact(self, monkeypatch):
-        from repro.checker.checker import TraceChecker
+        from repro.oracle import VectoredOracle
 
         calls = []
-        real = TraceChecker.check
+        real = VectoredOracle.check
 
         def counting(self, trace):
             calls.append(trace.name)
             return real(self, trace)
 
-        monkeypatch.setattr(TraceChecker, "check", counting)
+        monkeypatch.setattr(VectoredOracle, "check", counting)
         with Session("linux_ext4", suite=SMALL_SUITE) as session:
             it = session.iter_checked()
             for _ in range(len(SMALL_SUITE)):  # never hits StopIteration

@@ -27,6 +27,7 @@ LAYERS = {
     "repro.fsimpl": 8,
     "repro.executor": 9,
     "repro.testgen": 9,
+    "repro.oracle": 9,
     "repro.gen": 10,
     "repro.harness": 10,
     "repro.api": 11,
