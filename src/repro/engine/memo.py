@@ -1,0 +1,159 @@
+"""Memoized transition and tau-closure application over interned ids.
+
+A :class:`TransitionMemo` binds one
+:class:`~repro.core.platform.PlatformSpec` to one
+:class:`~repro.engine.intern.InternTable` and caches
+
+* ``(state_id, label) -> tuple of successor ids`` for every
+  ``os_trans`` application, and
+* ``state_id -> frozenset of ids`` for single-state tau closures.
+
+Set-level operations are unions of the per-state memo entries.  That
+is sound because the model's transitions are per-state independent
+(``os_trans`` never looks at the rest of the set), and for closures
+because the tau graph is monotone — every tau step consumes a pending
+call, so ``closure(S) == union(closure({s}) for s in S)`` and the
+closure of a successor is a subset of the closure of its predecessor
+(which lets the worklist splice in already-memoized closures).
+
+The recovery and pruning rules of
+:class:`~repro.checker.checker.TraceChecker` live here too, expressed
+over ids, so the interned and uninterned paths share one definition:
+:func:`recover_states` is the canonical "resume after a failed return
+match" body (the checker's ``_recover`` delegates to it), and
+:meth:`TransitionMemo.prune` keeps the checker's deterministic
+keep-by-repr rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.labels import OsLabel, OsTau
+from repro.core.platform import PlatformSpec
+from repro.engine.intern import InternTable
+from repro.osapi.os_state import OsStateOrSpecial, SpecialOsState
+from repro.osapi.process import RsReturning, RsRunning
+from repro.osapi.transition import os_trans
+
+#: Shared tau label instance (frozen, stateless).
+_TAU = OsTau()
+
+
+def recover_states(states: Iterable[OsStateOrSpecial], pid: int
+                   ) -> Optional[FrozenSet[OsStateOrSpecial]]:
+    """Continue after a failed return match.
+
+    The paper's checker continues "with EEXIST, ENOTEMPTY": we resume
+    from every state in which the pending return (whatever it was) has
+    been delivered, i.e. the process is running again.  This is the
+    single definition both the uninterned checker and the interned
+    engine use.
+    """
+    recovered: set = set()
+    for state in states:
+        if isinstance(state, SpecialOsState):
+            recovered.add(state)
+            continue
+        proc = state.procs.get(pid)
+        if proc is None:
+            continue
+        if isinstance(proc.run, RsReturning):
+            recovered.add(state.with_proc(pid, proc.with_run(RsRunning())))
+        elif isinstance(proc.run, RsRunning):
+            recovered.add(state)
+    return frozenset(recovered) if recovered else None
+
+
+class TransitionMemo:
+    """Per-spec memo of ``os_trans`` and tau closures over one table."""
+
+    __slots__ = ("spec", "table", "_trans", "_closures")
+
+    def __init__(self, spec: PlatformSpec, table: InternTable) -> None:
+        self.spec = spec
+        self.table = table
+        self._trans: Dict[Tuple[int, OsLabel], Tuple[int, ...]] = {}
+        self._closures: Dict[int, FrozenSet[int]] = {}
+
+    # -- single-state steps ---------------------------------------------------
+
+    def apply_one(self, sid: int, label: OsLabel) -> Tuple[int, ...]:
+        """Successor ids of ``os_trans(spec, state_of(sid), label)``."""
+        key = (sid, label)
+        cached = self._trans.get(key)
+        if cached is None:
+            table = self.table
+            cached = tuple(
+                table.intern(succ)
+                for succ in os_trans(self.spec, table.state_of(sid),
+                                     label))
+            self._trans[key] = cached
+        return cached
+
+    def closure_one(self, sid: int) -> FrozenSet[int]:
+        """Ids of the tau closure of the single state ``sid``.
+
+        The state itself is always a member (a pending call need not
+        have taken effect yet).  Already-memoized closures of
+        successors are spliced in rather than re-walked — sound
+        because the tau graph only consumes pending calls, so a
+        successor's closure is a subset of this one.
+        """
+        cached = self._closures.get(sid)
+        if cached is not None:
+            return cached
+        seen = {sid}
+        frontier: List[int] = [sid]
+        closures = self._closures
+        while frontier:
+            current = frontier.pop()
+            for succ in self.apply_one(current, _TAU):
+                if succ in seen:
+                    continue
+                succ_closure = closures.get(succ)
+                if succ_closure is not None:
+                    seen.update(succ_closure)
+                else:
+                    seen.add(succ)
+                    frontier.append(succ)
+        result = frozenset(seen)
+        closures[sid] = result
+        return result
+
+    # -- id-set operations ----------------------------------------------------
+
+    def apply(self, ids: Iterable[int], label: OsLabel) -> FrozenSet[int]:
+        """Union of per-state successors: one non-tau checker step."""
+        out: set = set()
+        for sid in ids:
+            out.update(self.apply_one(sid, label))
+        return frozenset(out)
+
+    def closure(self, ids: Iterable[int]) -> FrozenSet[int]:
+        """Tau closure of an id set (union of per-state closures)."""
+        out: set = set()
+        for sid in ids:
+            out.update(self.closure_one(sid))
+        return frozenset(out)
+
+    def recover(self, ids: Iterable[int],
+                pid: int) -> Optional[FrozenSet[int]]:
+        """:func:`recover_states` over ids (spec-independent)."""
+        recovered = recover_states(self.table.states_of(ids), pid)
+        if recovered is None:
+            return None
+        return self.table.intern_all(recovered)
+
+    def prune(self, ids: FrozenSet[int], limit: int) -> FrozenSet[int]:
+        """Deterministically keep ``limit`` ids — the checker's
+        keep-by-repr rule (stable across processes, unlike object
+        hashes)."""
+        table = self.table
+        keep = sorted(ids, key=lambda sid: repr(table.state_of(sid)))
+        return frozenset(keep[:limit])
+
+    def stats(self) -> Dict[str, int]:
+        return {"states": len(self.table),
+                "transitions": len(self._trans),
+                "closures": len(self._closures)}

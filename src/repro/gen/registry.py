@@ -122,10 +122,10 @@ DEFAULT_STRATEGY_NAMES = (
 # real population by the test suite.
 register(FunctionStrategy(
     "one_path", gen_one_path_tests,
-    tags=("generated", "combinatorial", "one-path"), estimate=1264))
+    tags=("generated", "combinatorial", "one-path"), estimate=1280))
 register(FunctionStrategy(
     "two_path:rename", lambda: gen_two_path_tests("rename", full=True),
-    tags=("generated", "combinatorial", "two-path"), estimate=2528))
+    tags=("generated", "combinatorial", "two-path"), estimate=2564))
 register(FunctionStrategy(
     "two_path:link", lambda: gen_two_path_tests("link"),
     tags=("generated", "combinatorial", "two-path"), estimate=332))

@@ -20,8 +20,11 @@ resolved through :mod:`repro.oracle` — a plain platform (``"linux"``)
 behaves exactly as before, while ``"all"`` / ``"vectored:A+B"`` runs
 the one-pass multi-platform oracle and every outcome carries the full
 per-platform :class:`~repro.oracle.ConformanceProfile` tuple.  Cached
-oracle instances keep their prefix-memoization caches warm across
-calls (and across a worker's whole life under the pool).
+oracle instances keep their prefix-memoization caches — and with them
+the :mod:`repro.engine` intern tables and transition memos — warm
+across calls (and across a worker's whole life under the pool), so a
+transition derived for one trace is free for every later trace the
+same worker checks.
 
 Backends yield results as they complete, which is what makes
 ``Session.iter_checked()`` a true streaming iterator.
@@ -219,9 +222,13 @@ def _worker_oracle(model: str, collect_coverage: bool) -> Oracle:
     """The worker-process oracle for a name.
 
     :func:`repro.oracle.get_oracle` memoizes per process, so each
-    worker keeps one oracle (and one warm prefix cache) per name for
-    its whole life — the per-worker caching that replaces per-trace
-    checker construction.
+    worker keeps one oracle per name for its whole life — and with it
+    a warm prefix cache, intern table and transition memo
+    (:mod:`repro.engine`), the per-worker reuse that replaces
+    per-trace checker construction and transition re-derivation.
+    Coverage runs resolve with ``cache=False``, which also rebuilds
+    the engine tables per trace so memo hits cannot swallow
+    specification-clause ``cover()`` calls.
     """
     return get_oracle(model, cache=not collect_coverage)
 

@@ -25,11 +25,21 @@ producing oracle's platform set, bitmask layout and checking
 parameters, so the trie is partitioned by an oracle-supplied
 configuration key (:meth:`PrefixCache.root`) and oracles with
 different configurations never see each other's snapshots.
+
+Snapshots are *interned*: the state-mask table is stored as a tuple of
+``(state_id, mask)`` int pairs, where ids come from the partition's
+:class:`~repro.engine.InternTable` (:meth:`PrefixCache.table`).  Id
+pairs hash in nanoseconds and are far smaller than item-tuples of full
+states, and every oracle sharing a partition shares the table that
+minted the ids — which is what makes the snapshots exchangeable in the
+first place.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Tuple
+
+from repro.engine import InternTable
 
 
 class _Node:
@@ -39,9 +49,10 @@ class _Node:
 
     def __init__(self) -> None:
         self.children: Dict[object, "_Node"] = {}
-        #: ``(states_items, per_platform_max)`` — the state-mask dict
-        #: (as a tuple of items) and the per-platform max-state-set
-        #: counters after the prefix ending at this node.
+        #: ``(states_items, per_platform_max)`` — the state-mask table
+        #: (as a tuple of ``(state_id, mask)`` pairs, ids minted by the
+        #: partition's intern table) and the per-platform
+        #: max-state-set counters after the prefix ending at this node.
         self.snapshot: Optional[Tuple[tuple, tuple]] = None
 
 
@@ -51,6 +62,7 @@ class PrefixCache:
     def __init__(self, max_nodes: int = 200_000) -> None:
         self.max_nodes = max_nodes
         self._roots: Dict[Hashable, _Node] = {}
+        self._tables: Dict[Hashable, InternTable] = {}
         self._nodes = 0
         self.hits = 0        #: labels skipped via a memoized prefix
         self.misses = 0      #: labels processed (and possibly stored)
@@ -69,6 +81,20 @@ class PrefixCache:
             self._roots[key] = root
             self._nodes += 1
         return root
+
+    def table(self, key: Hashable = ()) -> InternTable:
+        """The intern table whose ids this partition's snapshots use.
+
+        Every oracle checking against the partition must intern through
+        this table (ids from different tables are incomparable).  Like
+        roots, tables are created on first use and live until
+        :meth:`clear`.
+        """
+        table = self._tables.get(key)
+        if table is None:
+            table = InternTable()
+            self._tables[key] = table
+        return table
 
     def lookup(self, node: _Node, label: object) -> Optional[_Node]:
         """The child for ``label`` if it holds a snapshot, else None."""
@@ -102,6 +128,7 @@ class PrefixCache:
 
     def clear(self) -> None:
         self._roots = {}
+        self._tables = {}
         self._nodes = 0
         self.hits = 0
         self.misses = 0

@@ -22,6 +22,15 @@ bit-for-bit (test-enforced parity).
 A :class:`~repro.oracle.cache.PrefixCache` memoizes clean label
 prefixes, so suites whose scripts share generated setup scaffolding
 (most of ``testgen``'s families) skip re-exploring common prefixes.
+
+The exploration itself runs on the :mod:`repro.engine` interned
+engine: states are hash-consed to integer ids (hashed once, compared
+as ints), the mask table is id-keyed, snapshots store ``(id, mask)``
+pairs, and per-spec :class:`~repro.engine.TransitionMemo` tables cache
+``os_trans`` and tau-closure results across every trace a caching
+oracle ever checks — which is also why the coverage path (oracles
+built with ``cache=False``) gets fresh tables per check: memo hits do
+not re-fire specification-clause ``cover()`` calls.
 """
 
 from __future__ import annotations
@@ -29,23 +38,22 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.checker.checker import (Deviation, TraceChecker,
-                                   _recover, implicit_creates)
-from repro.core.labels import (OsLabel, OsReturn, OsSignal, OsSpin,
-                               OsTau)
+                                   implicit_creates)
+from repro.core.labels import OsLabel, OsReturn, OsSignal, OsSpin
 from repro.core.platform import PlatformSpec, spec_by_name
 from repro.core.values import render_return
+from repro.engine import InternTable, TransitionMemo
 from repro.oracle.cache import PrefixCache
 from repro.oracle.verdict import ConformanceProfile, Verdict
-from repro.osapi.os_state import OsStateOrSpecial, initial_os_state
-from repro.osapi.transition import allowed_returns, os_trans, tau_closure
+from repro.osapi.os_state import initial_os_state
+from repro.osapi.transition import allowed_returns
 from repro.script.ast import Trace
 
-#: State -> platform-membership bitmask (bit i = reachable on
-#: ``platforms[i]``).
-MaskedStates = Dict[OsStateOrSpecial, int]
-
-#: Shared tau label instance (frozen, stateless).
-_TAU = OsTau()
+#: State id -> platform-membership bitmask (bit i = reachable on
+#: ``platforms[i]``).  Ids are minted by the oracle's
+#: :class:`~repro.engine.InternTable`, so mask tables hash/compare
+#: ints instead of whole state dataclasses.
+MaskedStates = Dict[int, int]
 
 
 class VectoredOracle:
@@ -91,6 +99,8 @@ class VectoredOracle:
             self.default_gid,
             tuple(sorted((gid, tuple(sorted(members)))
                          for gid, members in self.groups.items())))
+        self._table: Optional[InternTable] = None
+        self._memos: Tuple[TransitionMemo, ...] = ()
 
     @property
     def name(self) -> str:
@@ -104,69 +114,107 @@ class VectoredOracle:
 
     # -- vectored transition plumbing -----------------------------------------
 
-    def _apply_shared(self, states: MaskedStates,
+    def _bind_engine(self) -> Tuple[InternTable,
+                                    Tuple[TransitionMemo, ...]]:
+        """The intern table + per-spec memos for one ``check`` call.
+
+        With a prefix cache, the table is the cache partition's own
+        (:meth:`PrefixCache.table`) — snapshots store ids, so every
+        oracle sharing the partition must share the table minting them
+        — and the memos persist across checks (and across a pool
+        worker's life), which is the cross-trace transition reuse this
+        engine exists for.  Re-checked each call so a ``cache.clear()``
+        swaps in fresh tables instead of serving stale ids.
+
+        Without a cache (the coverage-collection path) everything is
+        rebuilt per call: a memo kept warm across traces would skip
+        re-executing transition bodies and under-report per-trace
+        specification-clause coverage.
+        """
+        if self._cache is not None:
+            table = self._cache.table(self._cache_key)
+            if table is not self._table:
+                self._table = table
+                self._memos = tuple(TransitionMemo(spec, table)
+                                    for spec in self.specs)
+        else:
+            self._table = table = InternTable()
+            self._memos = tuple(TransitionMemo(spec, table)
+                                for spec in self.specs)
+        return self._table, self._memos
+
+    def _apply_shared(self, memo: TransitionMemo, states: MaskedStates,
                       label: OsLabel) -> MaskedStates:
         """Apply a non-tau label once, carrying masks through.
 
         ``os_trans`` consults the spec only on the internal tau
         transition; CALL / RETURN / CREATE / DESTROY application is
-        platform-independent, so one evaluation per *state* serves
-        every platform in its mask.
+        platform-independent, so one evaluation per *state* (memoized
+        under the primary spec's memo) serves every platform in its
+        mask.
         """
-        spec = self.specs[0]
         out: MaskedStates = {}
-        for state, mask in states.items():
-            for succ in os_trans(spec, state, label):
+        for sid, mask in states.items():
+            for succ in memo.apply_one(sid, label):
                 out[succ] = out.get(succ, 0) | mask
         return out
 
-    def _closure(self, states: MaskedStates) -> MaskedStates:
-        """Per-platform tau closure over the shared state-mask table.
+    def _closure(self, memos: Tuple[TransitionMemo, ...],
+                 states: MaskedStates) -> MaskedStates:
+        """Per-platform tau closure over the shared id-mask table.
 
-        Tau outcomes depend on the spec, so the worklist processes
-        (state, new-bits) pairs: each platform's reachable set grows
-        exactly as its own :func:`tau_closure` would, but states shared
-        by several platforms are stored and deduplicated once.
+        Tau outcomes depend on the spec, so each platform bit unions
+        its own memoized per-state closures: a platform's reachable
+        set is exactly what its own ``tau_closure`` would compute, but
+        states shared by several platforms are interned and
+        deduplicated once, and closures repeat-derived by earlier
+        traces are free.
         """
-        if len(self.specs) == 1:
-            # Single platform: the checker's own closure, mask intact.
-            closed = tau_closure(self.specs[0], frozenset(states))
-            return {state: 1 for state in closed}
-        acc: MaskedStates = dict(states)
-        work: List[Tuple[OsStateOrSpecial, int]] = list(states.items())
-        while work:
-            state, bits = work.pop()
-            for i, spec in enumerate(self.specs):
-                if not (bits >> i) & 1:
-                    continue
-                bit = 1 << i
-                for succ in os_trans(spec, state, _TAU):
-                    old = acc.get(succ, 0)
-                    if not old & bit:
-                        acc[succ] = old | bit
-                        work.append((succ, bit))
+        acc: MaskedStates = {}
+        for sid, mask in states.items():
+            remaining = mask
+            i = 0
+            while remaining:
+                if remaining & 1:
+                    bit = 1 << i
+                    for succ in memos[i].closure_one(sid):
+                        acc[succ] = acc.get(succ, 0) | bit
+                remaining >>= 1
+                i += 1
         return acc
 
-    def _members(self, states: MaskedStates,
-                 i: int) -> List[OsStateOrSpecial]:
+    def _members(self, states: MaskedStates, i: int) -> List[int]:
         bit = 1 << i
-        return [state for state, mask in states.items() if mask & bit]
+        return [sid for sid, mask in states.items() if mask & bit]
 
-    def _prune_platform(self, states: MaskedStates,
+    def _member_counts(self, states: MaskedStates) -> List[int]:
+        """Per-platform member counts in one pass over the mask table
+        (the hot loop folds these into the peaks after every label)."""
+        counts = [0] * len(self.specs)
+        for mask in states.values():
+            i = 0
+            while mask:
+                if mask & 1:
+                    counts[i] += 1
+                mask >>= 1
+                i += 1
+        return counts
+
+    def _prune_platform(self, memo: TransitionMemo, states: MaskedStates,
                         i: int) -> Tuple[MaskedStates, bool]:
-        """Platform-local pruning, matching ``TraceChecker``'s
-        deterministic keep-by-repr rule."""
+        """Platform-local pruning via the engine's deterministic
+        keep-by-repr rule (one definition with ``TraceChecker``)."""
         members = self._members(states, i)
         if len(members) <= self.max_states:
             return states, False
-        keep = set(sorted(members, key=repr)[: self.max_states])
+        keep = memo.prune(frozenset(members), self.max_states)
         bit = 1 << i
         out: MaskedStates = {}
-        for state, mask in states.items():
-            if mask & bit and state not in keep:
+        for sid, mask in states.items():
+            if mask & bit and sid not in keep:
                 mask &= ~bit
             if mask:
-                out[state] = mask
+                out[sid] = mask
         return out, True
 
     # -- the check loop -------------------------------------------------------
@@ -174,7 +222,10 @@ class VectoredOracle:
     def check(self, trace: Trace) -> Verdict:
         n = len(self.specs)
         full = (1 << n) - 1
-        states: MaskedStates = {initial_os_state(self.groups): full}
+        table, memos = self._bind_engine()
+        memo0 = memos[0]
+        states: MaskedStates = {
+            table.intern(initial_os_state(self.groups)): full}
         devs: List[List[Deviation]] = [[] for _ in range(n)]
         maxs: List[int] = [1] * n
         pruned: List[bool] = [False] * n
@@ -186,6 +237,14 @@ class VectoredOracle:
 
         def snapshot() -> Tuple[tuple, tuple]:
             return (tuple(states.items()), tuple(maxs))
+
+        def track_peaks() -> None:
+            """Per-step peak tracking: every platform's set size is
+            folded into its max after every label application (the
+            checker's rule), not only at return-time closures."""
+            for i, count in enumerate(self._member_counts(states)):
+                if count > maxs[i]:
+                    maxs[i] = count
 
         def walk(label: OsLabel) -> bool:
             """Advance the trie; True if a snapshot was restored."""
@@ -213,7 +272,8 @@ class VectoredOracle:
                                        self.default_gid):
             if node is not None and walk(create):
                 continue
-            states = self._apply_shared(states, create)
+            states = self._apply_shared(memo0, states, create)
+            track_peaks()
             if node is not None:
                 store(create)
 
@@ -239,10 +299,11 @@ class VectoredOracle:
                 continue
 
             if isinstance(label, OsReturn):
-                closed = self._closure(states)
-                for i in range(n):
-                    maxs[i] = max(maxs[i], len(self._members(closed, i)))
-                nxt = self._apply_shared(closed, label)
+                closed = self._closure(memos, states)
+                for i, count in enumerate(self._member_counts(closed)):
+                    if count > maxs[i]:
+                        maxs[i] = count
+                nxt = self._apply_shared(memo0, closed, label)
                 alive = 0
                 for mask in nxt.values():
                     alive |= mask
@@ -252,7 +313,8 @@ class VectoredOracle:
                         if not (stuck >> i) & 1:
                             continue
                         closed_i = frozenset(self._members(closed, i))
-                        allowed = allowed_returns(closed_i, label.pid)
+                        allowed = allowed_returns(
+                            table.states_of(closed_i), label.pid)
                         allowed_strs = tuple(sorted(
                             render_return(r) for r in allowed))
                         devs[i].append(Deviation(
@@ -262,21 +324,22 @@ class VectoredOracle:
                             allowed=allowed_strs,
                             message=f"unexpected results: "
                                     f"{render_return(label.ret)}"))
-                        recovered = _recover(closed_i, label.pid) \
+                        recovered = memo0.recover(closed_i, label.pid) \
                             or closed_i
                         bit = 1 << i
-                        for state in recovered:
-                            nxt[state] = nxt.get(state, 0) | bit
+                        for sid in recovered:
+                            nxt[sid] = nxt.get(sid, 0) | bit
                 states = nxt
+                track_peaks()
                 for i in range(n):
-                    states, did = self._prune_platform(states, i)
+                    states, did = self._prune_platform(memo0, states, i)
                     pruned[i] = pruned[i] or did
                 if node is not None:
                     store(label)
                 continue
 
             # CALL / CREATE / DESTROY.
-            nxt = self._apply_shared(states, label)
+            nxt = self._apply_shared(memo0, states, label)
             alive = 0
             for mask in nxt.values():
                 alive |= mask
@@ -291,11 +354,12 @@ class VectoredOracle:
                         devs[i].append(deviation)
                 # Stuck platforms keep their previous states, exactly
                 # as the checker leaves `states` unchanged.
-                for state, mask in states.items():
+                for sid, mask in states.items():
                     held = mask & stuck
                     if held:
-                        nxt[state] = nxt.get(state, 0) | held
+                        nxt[sid] = nxt.get(sid, 0) | held
             states = nxt
+            track_peaks()
             if node is not None:
                 store(label)
 

@@ -42,6 +42,38 @@ class OsState:
                          if uid in members)
 
 
+def _os_state_hash(self: "OsState") -> int:
+    """Field-tuple hash, computed once per instance.
+
+    States are immutable but re-hashed constantly by state-set
+    operations (set membership, interning, snapshot keys); the
+    dataclass-generated ``__hash__`` walks the whole nested structure
+    on every call.  The cached value lives outside the field set, so
+    equality, ``repr`` and ``dataclasses.replace`` are unaffected.
+    """
+    h = self.__dict__.get("_cached_hash")
+    if h is None:
+        h = hash((self.fs, self.procs, self.fids, self.groups,
+                  self.next_fid))
+        object.__setattr__(self, "_cached_hash", h)
+    return h
+
+
+def _os_state_getstate(self: "OsState") -> dict:
+    """Drop the cached hash when pickling: hash values are only valid
+    within the interpreter that computed them (string hashing is
+    per-process)."""
+    state = dict(self.__dict__)
+    state.pop("_cached_hash", None)
+    return state
+
+
+# Assigned post-definition: @dataclass(frozen=True) installs its own
+# __hash__ on the class, which this replaces wholesale.
+OsState.__hash__ = _os_state_hash  # type: ignore[assignment]
+OsState.__getstate__ = _os_state_getstate  # type: ignore[attr-defined]
+
+
 @dataclasses.dataclass(frozen=True)
 class SpecialOsState:
     """Undefined / unspecified / implementation-defined behaviour marker."""

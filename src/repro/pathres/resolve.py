@@ -25,7 +25,9 @@ from repro.pathres.resname import (Follow, ResName, RnDir, RnError, RnFile,
 from repro.perms.permissions import PermEnv, may_exec
 from repro.state.heap import DirRef, FileRef, FsState
 
-#: POSIX limits (PATH_MAX / NAME_MAX on the tested platforms).
+#: POSIX limits (PATH_MAX / NAME_MAX on the tested platforms).  Both
+#: are *byte* limits: the kernel sees encoded bytes, so a multibyte
+#: UTF-8 name trips NAME_MAX well before 255 characters.
 PATH_MAX = 4096
 NAME_MAX = 255
 
@@ -57,6 +59,16 @@ def may_search(env: PermEnv, fs: FsState, dref: DirRef) -> bool:
     return may_exec(env, fs.dir(dref).meta)
 
 
+def _encoded(text: str) -> bytes:
+    """UTF-8 bytes for limit checks, tolerating lone surrogates.
+
+    Names that round-tripped through ``os.fsdecode`` (surrogateescape)
+    contain unpaired surrogates that strict UTF-8 refuses to encode;
+    a limit check must measure them, not crash the checker.
+    """
+    return text.encode("utf-8", "surrogatepass")
+
+
 def split_path(path: str) -> Tuple[bool, List[str], bool]:
     """Split a path into (absolute, components, trailing_slash).
 
@@ -81,7 +93,11 @@ def resolve(spec: PlatformSpec, fs: FsState, cwd: DirRef, path: str,
     if path == "":
         cover("pathres.empty_path")
         return RnError(Errno.ENOENT, "empty path")
-    if len(path) > PATH_MAX:
+    # The limit is on encoded bytes.  The character count bounds the
+    # byte count from below (and, times four, from above for UTF-8),
+    # so only paths near the limit pay for an encode.
+    if len(path) > PATH_MAX or (len(path) * 4 > PATH_MAX and
+                                len(_encoded(path)) > PATH_MAX):
         cover("pathres.path_too_long")
         return RnError(Errno.ENAMETOOLONG, "path exceeds PATH_MAX")
 
@@ -103,7 +119,8 @@ def resolve(spec: PlatformSpec, fs: FsState, cwd: DirRef, path: str,
     while work:
         name = work.pop(0)
         is_last = not work
-        if len(name) > NAME_MAX:
+        if len(name) > NAME_MAX or (len(name) * 4 > NAME_MAX and
+                                    len(_encoded(name)) > NAME_MAX):
             cover("pathres.name_too_long")
             return RnError(Errno.ENAMETOOLONG,
                            f"component exceeds NAME_MAX: {name[:16]}...")

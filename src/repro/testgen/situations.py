@@ -161,6 +161,12 @@ def _generate() -> List[PathSituation]:
         PathSituation("longname", "x" * 300, _props(
             False, 0, Resolution.ERROR, None, False),
             "a component longer than NAME_MAX (ENAMETOOLONG)"),
+        # NAME_MAX is a *byte* limit: 200 two-byte characters is only
+        # 200 characters but 400 UTF-8 bytes, over the limit.
+        PathSituation("longname_multibyte", "é" * 200, _props(
+            False, 0, Resolution.ERROR, None, False),
+            "a multibyte component over NAME_MAX in bytes only "
+            "(ENAMETOOLONG)"),
     ]
     situations.extend(specials)
     return situations

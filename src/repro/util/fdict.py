@@ -88,11 +88,15 @@ class fdict(Mapping[K, V]):
 
     def __hash__(self) -> int:
         if self._hash is None:
-            # XOR of per-item hashes is order-insensitive.
-            h = 0
-            for item in self._d.items():
-                h ^= hash(item)
-            self._hash = hash((len(self._d), h))
+            # Order-insensitive with frozenset-style entropy mixing.
+            # A plain XOR of item hashes is GF(2)-linear: any two
+            # entry pairs whose item-hashes XOR to the same value
+            # collide systematically (state-set dedup then degrades
+            # into long equality scans on the checker's hot path).
+            # frozenset shuffles each element hash non-linearly
+            # before combining, which breaks those cancellations.
+            self._hash = hash((len(self._d),
+                               hash(frozenset(self._d.items()))))
         return self._hash
 
     def __repr__(self) -> str:

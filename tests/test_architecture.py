@@ -22,16 +22,17 @@ LAYERS = {
     "repro.pathres": 4,
     "repro.fsops": 5,
     "repro.osapi": 6,
-    "repro.checker": 7,
-    "repro.script": 7,
-    "repro.fsimpl": 8,
-    "repro.executor": 9,
-    "repro.testgen": 9,
-    "repro.oracle": 9,
-    "repro.gen": 10,
-    "repro.harness": 10,
-    "repro.api": 11,
-    "repro.cli": 12,
+    "repro.engine": 7,
+    "repro.checker": 8,
+    "repro.script": 8,
+    "repro.fsimpl": 9,
+    "repro.executor": 10,
+    "repro.testgen": 10,
+    "repro.oracle": 10,
+    "repro.gen": 11,
+    "repro.harness": 11,
+    "repro.api": 12,
+    "repro.cli": 13,
 }
 
 

@@ -146,6 +146,23 @@ class TestStateTracking:
         # Partial-write enumeration: at least 8 simultaneous states.
         assert checked.max_state_set >= 8
 
+    def test_max_state_set_tracked_at_every_step(self):
+        # The peak is tracked at every label application, not only at
+        # RETURN tau-closures: a deviating return keeps the whole
+        # recovery set, and the labels that follow must see it in the
+        # reported peak even if no further return closes the trace.
+        body = ('1: open "f" [O_CREAT;O_RDWR] 0o644\nRV_num(3)\n'
+                '2: write 3 "abcdefgh"\nEPERM\n'       # deviation
+                '3: p2: mkdir "z" 0o755\n')            # trailing CALL
+        from repro.checker import TraceChecker
+        from repro.core.platform import POSIX_SPEC
+        from repro.script import parse_trace
+        trace = parse_trace(HEADER + body)
+        interned = TraceChecker(POSIX_SPEC).check(trace)
+        baseline = TraceChecker(POSIX_SPEC, intern=False).check(trace)
+        assert interned == baseline
+        assert interned.max_state_set >= 8
+
 
 class TestMultiProcess:
     def test_interleaved_processes(self):

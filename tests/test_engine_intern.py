@@ -1,0 +1,239 @@
+"""Tests for the interned exploration engine (``repro.engine``).
+
+The engine's contract is *bit-for-bit* parity: hash-consing states and
+memoizing transitions must never change a verdict, a deviation, a
+``max_state_set`` peak or a pruning flag.  Parity is checked three
+ways: unit equivalences against the raw ``osapi`` transition
+functions, the handwritten suite on clean and quirky configurations,
+and a randomized interned-vs-uninterned property sweep.
+"""
+
+import pytest
+
+from repro.checker.checker import TraceChecker, _recover
+from repro.core.labels import OsCall, OsCreate
+from repro.core.platform import SPECS, spec_by_name
+from repro.core import commands as C
+from repro.engine import InternTable, TransitionMemo, recover_states
+from repro.executor import execute_script
+from repro.fsimpl import config_by_name
+from repro.osapi.os_state import SpecialOsState, initial_os_state
+from repro.osapi.transition import os_trans, tau_closure
+from repro.oracle import ModelOracle, PrefixCache, VectoredOracle
+from repro.script import parse_trace
+from repro.testgen.generator import gen_handwritten_tests
+from repro.testgen.randomized import random_suite
+
+LINUX = spec_by_name("linux")
+
+
+def _seed_states():
+    """An initial state plus one with a pending call, interned."""
+    table = InternTable()
+    memo = TransitionMemo(LINUX, table)
+    start = table.intern(initial_os_state())
+    ids = memo.apply(frozenset({start}), OsCreate(1, 0, 0))
+    ids = memo.apply(ids, OsCall(1, C.Mkdir("a", 0o755)))
+    return table, memo, ids
+
+
+class TestInternTable:
+    def test_ids_are_dense_and_stable(self):
+        table = InternTable()
+        s0 = initial_os_state()
+        special = SpecialOsState("undefined", "x")
+        assert table.intern(s0) == 0
+        assert table.intern(special) == 1
+        assert table.intern(s0) == 0          # hash-consed, not re-minted
+        assert len(table) == 2
+
+    def test_equal_states_share_an_id(self):
+        table = InternTable()
+        a = table.intern(initial_os_state())
+        b = table.intern(initial_os_state())  # distinct object, equal value
+        assert a == b
+
+    def test_states_round_trip(self):
+        table, _, ids = _seed_states()
+        for sid in ids:
+            assert table.intern(table.state_of(sid)) == sid
+        assert len(table.states_of(ids)) == len(ids)
+
+
+class TestTransitionMemo:
+    def test_apply_matches_os_trans(self):
+        table, memo, ids = _seed_states()
+        label = OsCreate(2, 0, 0)
+        got = {table.state_of(sid) for sid in memo.apply(ids, label)}
+        want = set()
+        for state in table.states_of(ids):
+            want |= os_trans(LINUX, state, label)
+        assert got == want
+
+    def test_apply_one_is_memoized(self):
+        table, memo, ids = _seed_states()
+        sid = next(iter(ids))
+        label = OsCreate(2, 0, 0)
+        first = memo.apply_one(sid, label)
+        assert memo.apply_one(sid, label) is first
+        assert memo.stats()["transitions"] >= 1
+
+    def test_closure_matches_tau_closure(self):
+        table, memo, ids = _seed_states()
+        got = {table.state_of(sid) for sid in memo.closure(ids)}
+        want = tau_closure(LINUX, frozenset(table.states_of(ids)))
+        assert got == set(want)
+        # Original states are retained (pending calls need not fire).
+        assert ids <= memo.closure(ids)
+
+    def test_closure_is_memoized_per_state(self):
+        table, memo, ids = _seed_states()
+        memo.closure(ids)
+        derived = memo.stats()["transitions"]
+        memo.closure(ids)                    # fully cached second time
+        assert memo.stats()["transitions"] == derived
+
+    def test_recover_matches_checker_recover(self):
+        table, memo, ids = _seed_states()
+        closed = memo.closure(ids)
+        got = memo.recover(closed, 1)
+        want = _recover(frozenset(table.states_of(closed)), 1)
+        assert {table.state_of(sid) for sid in got} == set(want)
+        # And the canonical body is shared with the checker's wrapper.
+        assert recover_states(table.states_of(closed), 1) == want
+
+    def test_recover_none_when_pid_absent(self):
+        table, memo, ids = _seed_states()
+        assert memo.recover(memo.closure(ids), 99) is None
+
+    def test_prune_keeps_by_repr(self):
+        table, memo, ids = _seed_states()
+        closed = memo.closure(ids)
+        kept = memo.prune(closed, 1)
+        want = sorted(table.states_of(closed), key=repr)[:1]
+        assert table.states_of(kept) == want
+
+
+def _check_both(spec, trace, groups=None):
+    interned = TraceChecker(spec, groups).check(trace)
+    baseline = TraceChecker(spec, groups, intern=False).check(trace)
+    return interned, baseline
+
+
+class TestCheckerParity:
+    @pytest.mark.parametrize("config", ["linux_ext4",
+                                        "linux_sshfs_tmpfs"])
+    def test_handwritten_suite_parity(self, config):
+        """Interned results identical on every platform, clean and
+        quirky configurations (the quirky one produces deviations,
+        recovery and diagnostics)."""
+        quirks = config_by_name(config)
+        traces = [execute_script(quirks, script)
+                  for script in gen_handwritten_tests()]
+        for platform in SPECS:
+            spec = spec_by_name(platform)
+            interned_checker = TraceChecker(spec)
+            baseline_checker = TraceChecker(spec, intern=False)
+            for trace in traces:
+                assert (interned_checker.check(trace)
+                        == baseline_checker.check(trace)), \
+                    (platform, trace.name)
+
+    def test_randomized_property_parity(self):
+        """The property test of the acceptance criterion: random
+        scripts, every platform, interned == uninterned bit for bit.
+        A warm checker is reused across traces so cross-trace memo
+        reuse is itself under test."""
+        for config in ("linux_ext4", "osx_hfsplus"):
+            quirks = config_by_name(config)
+            for platform in SPECS:
+                spec = spec_by_name(platform)
+                warm = TraceChecker(spec)
+                cold = TraceChecker(spec, intern=False)
+                for script in random_suite(12, base_seed=2024,
+                                           length=25):
+                    trace = execute_script(quirks, script)
+                    assert warm.check(trace) == cold.check(trace), \
+                        (config, platform, script.name)
+
+    def test_warm_memo_is_reused_across_traces(self):
+        quirks = config_by_name("linux_ext4")
+        traces = [execute_script(quirks, script)
+                  for script in gen_handwritten_tests()[:6]]
+        checker = TraceChecker(LINUX)
+        for trace in traces:
+            checker.check(trace)
+        derived = checker._memo.stats()["transitions"]
+        results = [checker.check(trace) for trace in traces]
+        # Re-checking the same traces derives nothing new...
+        assert checker._memo.stats()["transitions"] == derived
+        # ...and still yields the uninterned results.
+        baseline = TraceChecker(LINUX, intern=False)
+        assert results == [baseline.check(trace) for trace in traces]
+
+    def test_deviating_trace_parity_with_recovery(self):
+        trace = parse_trace(
+            "@type trace\n# Test dev\n"
+            '1: mkdir "a" 0o755\nEPERM\n'
+            '2: mkdir "a" 0o755\nEEXIST\n'
+            '3: unlink "a"\nEISDIR\n')
+        for platform in SPECS:
+            spec = spec_by_name(platform)
+            interned, baseline = _check_both(spec, trace)
+            assert interned == baseline
+
+
+class TestVectoredParityUninterned:
+    def test_vectored_profiles_match_uninterned_checkers(self):
+        """Vectored (interned, cached) vs the original uninterned
+        frozenset loop — closing the loop across both rewrites."""
+        quirks = config_by_name("linux_sshfs_tmpfs")
+        traces = [execute_script(quirks, script)
+                  for script in gen_handwritten_tests()]
+        oracle = VectoredOracle(tuple(SPECS))
+        checkers = {p: TraceChecker(spec_by_name(p), intern=False)
+                    for p in SPECS}
+        for trace in traces:
+            verdict = oracle.check(trace)
+            for profile in verdict.profiles:
+                checked = checkers[profile.platform].check(trace)
+                assert profile.deviations == checked.deviations
+                assert profile.max_state_set == checked.max_state_set
+                assert profile.labels_checked == checked.labels_checked
+                assert profile.pruned == checked.pruned
+
+
+class TestEngineWithPrefixCache:
+    def test_shared_cache_shares_intern_table(self):
+        cache = PrefixCache()
+        a = ModelOracle("linux", cache=cache)
+        b = ModelOracle("linux", cache=cache)
+        trace = parse_trace("@type trace\n# Test t\n"
+                            '1: mkdir "a" 0o755\nRV_none\n')
+        va = a.check(trace)
+        hits_before = cache.hits
+        vb = b.check(trace)
+        assert cache.hits > hits_before      # b resumed from a's prefix
+        assert va.profiles == vb.profiles
+        assert a._table is b._table          # one table per partition
+
+    def test_cache_clear_swaps_tables_safely(self):
+        cache = PrefixCache()
+        oracle = ModelOracle("linux", cache=cache)
+        trace = parse_trace("@type trace\n# Test t\n"
+                            '1: mkdir "a" 0o755\nRV_none\n')
+        before = oracle.check(trace)
+        old_table = oracle._table
+        cache.clear()
+        after = oracle.check(trace)          # must rebind, not misread
+        assert oracle._table is not old_table
+        assert before.profiles == after.profiles
+
+    def test_uncached_oracle_rebuilds_tables_per_check(self):
+        oracle = ModelOracle("linux", cache=False)
+        trace = parse_trace("@type trace\n# Test t\n"
+                            '1: mkdir "a" 0o755\nRV_none\n')
+        oracle.check(trace)
+        first = oracle._table
+        oracle.check(trace)
+        assert oracle._table is not first    # coverage-safe freshness

@@ -96,6 +96,79 @@ class TestEqualityHashing:
         assert repr(d1) == repr(d2)
 
 
+class TestHashMixing:
+    """Regression for the XOR-fold hash.
+
+    XOR of item hashes is GF(2)-linear: any linear dependency among
+    item-hash bit vectors makes *different* maps collide
+    systematically, degrading state-set dedup into equality scans.
+    The test finds such a dependency among real item hashes by
+    Gaussian elimination (int and tuple hashes are deterministic, so
+    this is reproducible) and checks the shipped hash separates the
+    maps the old fold could not.
+    """
+
+    @staticmethod
+    def _xor_fold(d):
+        """The pre-fix fdict hash."""
+        h = 0
+        for item in d.items():
+            h ^= hash(item)
+        return hash((len(d), h))
+
+    @staticmethod
+    def _even_xor_dependency(n=256):
+        """Two disjoint, equal-size sets of (int, 0) items whose
+        item-hash XORs are equal (a dependency the old fold cannot
+        see).  Guaranteed to exist: >64 vectors over GF(2)^64 are
+        linearly dependent."""
+        mask = (1 << 64) - 1
+        basis = {}  # msb -> (vector, contributing index set)
+        deps = []
+        for idx in range(n):
+            vec = hash((idx, 0)) & mask
+            used = {idx}
+            while vec:
+                msb = vec.bit_length() - 1
+                if msb not in basis:
+                    basis[msb] = (vec, used)
+                    break
+                bvec, bused = basis[msb]
+                vec ^= bvec
+                used = used ^ bused
+            else:
+                deps.append(used)
+        # An even-size dependency of >= 4 items, directly or as the
+        # symmetric difference of two odd ones (sizes 2 are genuine
+        # item-hash collisions, not XOR cancellations — skip them).
+        evens = [s for s in deps if len(s) % 2 == 0 and len(s) >= 4]
+        if not evens:
+            odds = [s for s in deps if len(s) % 2 == 1]
+            assert len(odds) >= 2, "no usable dependency found"
+            evens = [odds[0] ^ odds[1]]
+        subset = sorted(evens[0])
+        half = len(subset) // 2
+        left = [(k, 0) for k in subset[:half]]
+        right = [(k, 0) for k in subset[half:]]
+        return left, right
+
+    def test_xor_cancellation_pairs_no_longer_collide(self):
+        left, right = self._even_xor_dependency()
+        d_left, d_right = fdict(left), fdict(right)
+        assert d_left != d_right
+        # The old fold collides on these by construction...
+        assert self._xor_fold(d_left) == self._xor_fold(d_right)
+        # ...the frozenset-mixed hash must not.
+        assert hash(d_left) != hash(d_right)
+
+    def test_swapped_value_pair_distinct_hash(self):
+        # The simplest interesting shape: same keys, values swapped.
+        d1 = fdict({1: 2, 2: 1})
+        d2 = fdict({1: 1, 2: 2})
+        assert d1 != d2
+        assert hash(d1) != hash(d2)
+
+
 @given(st.dictionaries(st.text(max_size=8), st.integers()))
 def test_roundtrip_via_dict(items):
     assert dict(fdict(items)) == items

@@ -257,6 +257,48 @@ class TestLimits:
         assert isinstance(rn, RnError)
         assert rn.errno is Errno.ENAMETOOLONG
 
+    def test_name_limit_is_bytes_not_characters(self):
+        # NAME_MAX is a byte limit: 200 two-byte characters slip the
+        # character count (200 <= 255) but are 400 UTF-8 bytes.
+        fs, _ = build_fs()
+        rn = res(fs, "é" * 200)
+        assert isinstance(rn, RnError)
+        assert rn.errno is Errno.ENAMETOOLONG
+
+    def test_name_under_limit_in_bytes_resolves(self):
+        # 127 two-byte characters = 254 bytes: inside the limit, so
+        # this is an ordinary missing final component.
+        fs, _ = build_fs()
+        rn = res(fs, "é" * 127)
+        assert isinstance(rn, RnNone)
+
+    def test_path_limit_is_bytes_not_characters(self):
+        # Character count stays under PATH_MAX (2800 <= 4096) while
+        # the UTF-8 byte count exceeds it (4200 > 4096); the up-front
+        # limit check must fire before any component is walked.
+        fs, _ = build_fs()
+        path = "é/" * 1400  # 2800 chars, 4200 bytes
+        rn = res(fs, path)
+        assert isinstance(rn, RnError)
+        assert rn.errno is Errno.ENAMETOOLONG
+
+    def test_multibyte_intermediate_component_counts_bytes(self):
+        fs, _ = build_fs()
+        rn = res(fs, "é" * 200 + "/f")
+        assert isinstance(rn, RnError)
+        assert rn.errno is Errno.ENAMETOOLONG
+
+    def test_lone_surrogates_measured_not_crashed(self):
+        # os.fsdecode'd names can carry unpaired surrogates, which
+        # strict UTF-8 refuses to encode; the limit check must measure
+        # them (3 bytes each via surrogatepass), never raise.
+        fs, _ = build_fs()
+        rn = res(fs, "\ud800" * 64)          # 192 bytes: under limit
+        assert isinstance(rn, RnNone)
+        rn = res(fs, "\ud800" * 100)         # 300 bytes: over limit
+        assert isinstance(rn, RnError)
+        assert rn.errno is Errno.ENAMETOOLONG
+
 
 class TestPermissions:
     def test_search_permission_denied(self):
