@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Sharded-checking benchmark: parity + shard scaling.
+
+The :class:`~repro.harness.backends.ShardedBackend` must be invisible
+in results and visible in throughput.  This bench checks both on a
+*repeat-heavy* generated sample (a seeded sample of the default plan,
+repeated several times — what long checking campaigns look like), on a
+clean and a quirky configuration:
+
+* **parity** — every per-platform conformance profile from the sharded
+  pool must be identical to the :class:`SerialBackend` profiles, both
+  configurations (any mismatch fails the bench in every mode);
+* **scaling** — the checking phase is timed at 1, 2 and 4 shards; the
+  recorded speedup is ``time(1 shard) / time(N shards)`` (acceptance:
+  >= 1.8x at 4 shards on this repeat-heavy shape).  Scaling is
+  hardware-bound: the available CPU count is recorded next to the
+  speedups, and ``--strict`` only enforces the target when at least 4
+  CPUs are schedulable (a 1-CPU container cannot exhibit parallel
+  speedup no matter how the work is sharded; parity is enforced
+  everywhere regardless).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
+        [--smoke] [--repeats N] [--json OUT.json] [--strict]
+
+``--smoke`` runs a small seeded sample (CI-friendly); ``--strict``
+exits non-zero if the 4-shard speedup misses the target (parity
+failures exit non-zero in every mode).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.executor import execute_script  # noqa: E402
+from repro.fsimpl import config_by_name  # noqa: E402
+from repro.gen import default_plan  # noqa: E402
+from repro.harness.backends import (SerialBackend,  # noqa: E402
+                                    ShardedBackend)
+
+TARGET_SPEEDUP = 1.8
+SHARD_COUNTS = (1, 2, 4)
+MODEL = "all"  # one vectored pass per trace: per-platform profiles
+CONFIGS = ("linux_ext4", "linux_sshfs_tmpfs")  # clean + quirky
+
+
+def build_traces(config: str, sample: int, repeats: int, seed: int):
+    quirks = config_by_name(config)
+    scripts = list(default_plan().sample(sample, seed=seed).scripts())
+    traces = [execute_script(quirks, script) for script in scripts]
+    return traces * repeats
+
+
+def check_profiles(backend, traces):
+    t0 = time.perf_counter()
+    profiles = [outcome.profiles
+                for outcome in backend.check_iter(MODEL, traces)]
+    return time.perf_counter() - t0, profiles
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small seeded sample (CI-friendly)")
+    parser.add_argument("--sample", type=int, default=None,
+                        help="scripts sampled from the default plan "
+                             "(default: 200, or 60 with --smoke)")
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="times the sampled suite is re-checked "
+                             "(the repeat-heavy shape)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--warmup", type=int, default=16,
+                        help="traces checked in-parent to warm the "
+                             "shared memo arena")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the result as JSON")
+    parser.add_argument("--strict", action="store_true",
+                        help=f"exit 1 unless the 4-shard speedup >= "
+                             f"{TARGET_SPEEDUP}")
+    args = parser.parse_args(argv)
+
+    sample = args.sample or (60 if args.smoke else 200)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    result = {
+        "mode": "smoke" if args.smoke else "full",
+        "model": MODEL,
+        "sample": sample,
+        "repeats": args.repeats,
+        "warmup": args.warmup,
+        "cpus": cpus,
+        "target_speedup_4_shards": TARGET_SPEEDUP,
+        "configs": {},
+    }
+    mismatches = 0
+
+    for config in CONFIGS:
+        traces = build_traces(config, sample, args.repeats, args.seed)
+        serial_s, want = check_profiles(SerialBackend(), traces)
+        row = {"traces": len(traces),
+               "serial_seconds": round(serial_s, 3),
+               "serial_traces_per_s": round(len(traces) / serial_s, 1),
+               "shards": {}}
+        times = {}
+        for shards in SHARD_COUNTS:
+            backend = ShardedBackend(shards, warmup=args.warmup)
+            try:
+                shard_s, got = check_profiles(backend, traces)
+                stats = backend.run_stats()
+            finally:
+                backend.close()
+            bad = sum(1 for g, w in zip(got, want) if g != w)
+            mismatches += bad
+            times[shards] = shard_s
+            row["shards"][str(shards)] = {
+                "seconds": round(shard_s, 3),
+                "traces_per_s": round(len(traces) / shard_s, 1),
+                "profile_mismatches": bad,
+                "arena_rows": stats.get("arena_rows", 0),
+                "arena_hits": stats.get("arena_hits", 0),
+                "arena_misses": stats.get("arena_misses", 0),
+            }
+        for shards in SHARD_COUNTS[1:]:
+            row["shards"][str(shards)]["speedup_vs_1_shard"] = round(
+                times[1] / times[shards], 3) if times[shards] else 0.0
+        row["speedup_4_shards"] = row["shards"]["4"].get(
+            "speedup_vs_1_shard", 0.0)
+        result["configs"][config] = row
+
+        print(f"\n{config}: {len(traces)} traces "
+              f"({sample} scripts x {args.repeats} repeats, "
+              f"model={MODEL})")
+        print(f"  serial    : {serial_s:7.2f} s "
+              f"({row['serial_traces_per_s']:8.1f} traces/s)")
+        for shards in SHARD_COUNTS:
+            shard_row = row["shards"][str(shards)]
+            speedup = shard_row.get("speedup_vs_1_shard")
+            extra = f"  ({speedup:.2f}x vs 1 shard)" if speedup else ""
+            print(f"  {shards} shard(s): {shard_row['seconds']:7.2f} s "
+                  f"({shard_row['traces_per_s']:8.1f} traces/s)"
+                  f"{extra}  [arena {shard_row['arena_hits']} hits / "
+                  f"{shard_row['arena_misses']} misses]")
+
+    worst = min(row["speedup_4_shards"]
+                for row in result["configs"].values())
+    result["speedup_4_shards_min"] = worst
+    result["profile_mismatches"] = mismatches
+    print(f"\n4-shard speedup (worst config): {worst:.2f}x "
+          f"(target >= {TARGET_SPEEDUP}, {cpus} CPU(s) schedulable)")
+    print(f"parity: {mismatches} profile mismatches vs serial")
+
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True)
+                       + "\n")
+        print(f"result written to {out}")
+
+    if mismatches:
+        print("FAIL: sharded profiles differ from the serial backend")
+        return 1
+    if args.strict and worst < TARGET_SPEEDUP:
+        if cpus < max(SHARD_COUNTS):
+            print(f"NOTE: only {cpus} CPU(s) schedulable — the "
+                  f"{TARGET_SPEEDUP}x scaling target needs "
+                  f">= {max(SHARD_COUNTS)}; recording without "
+                  "enforcing")
+        else:
+            print(f"FAIL: 4-shard speedup {worst:.2f} "
+                  f"< {TARGET_SPEEDUP}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,7 +96,8 @@ from repro.harness import (measure_coverage, merge_results,
                            render_merge, render_suite_result,
                            render_summary_table, run_and_check)
 from repro.api import (Backend, ProcessPoolBackend, RunArtifact,
-                       SerialBackend, Session, survey)
+                       SerialBackend, Session, ShardedBackend,
+                       survey)
 
 __version__ = "0.4.0"
 
@@ -115,6 +116,6 @@ __all__ = [
     "measure_coverage", "merge_results", "render_merge",
     "render_suite_result", "render_summary_table", "run_and_check",
     "Backend", "ProcessPoolBackend", "RunArtifact", "SerialBackend",
-    "Session", "survey",
+    "Session", "ShardedBackend", "survey",
     "__version__",
 ]

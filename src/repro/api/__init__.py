@@ -30,10 +30,11 @@ from repro.api.artifact import FORMAT_VERSION, RunArtifact
 from repro.api.session import Session, survey
 from repro.harness.backends import (Backend, CheckOutcome,
                                     ProcessPoolBackend, RunRecord,
-                                    SerialBackend, make_backend)
+                                    SerialBackend, ShardedBackend,
+                                    make_backend)
 
 __all__ = [
     "Backend", "CheckOutcome", "FORMAT_VERSION", "ProcessPoolBackend",
-    "RunArtifact", "RunRecord", "SerialBackend", "Session",
-    "make_backend", "survey",
+    "RunArtifact", "RunRecord", "SerialBackend", "ShardedBackend",
+    "Session", "make_backend", "survey",
 ]

@@ -10,9 +10,12 @@ re-running the pipeline.
 Artifacts serialise to JSON (``to_json``/``from_json``) for CI diffing;
 traces are stored in the paper's trace file format (Fig. 3), which
 round-trips exactly, so ``RunArtifact.from_json(a.to_json()) == a``.
-Format v3 adds the multi-platform fields (``check_on`` and per-trace
-per-platform conformance profiles from the vectored oracle); v1 and v2
-artifacts still load.
+Format v3 added the multi-platform fields (``check_on`` and per-trace
+per-platform conformance profiles from the vectored oracle); v4 adds
+``engine_stats`` — the execution engine's counters (shard count,
+warmup size, shared-memo arena rows and pool-wide hit/miss totals)
+reported by backends with a ``run_stats`` method.  v1–v3 artifacts
+still load.
 """
 
 from __future__ import annotations
@@ -33,11 +36,11 @@ from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
 
 #: Bumped when the JSON layout changes incompatibly.
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 #: Versions ``from_json`` still reads (v1 lacked plan provenance, v2
-#: the multi-platform conformance profiles).
-_READABLE_VERSIONS = (1, 2, 3)
+#: the multi-platform conformance profiles, v3 the engine stats).
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +77,11 @@ class RunArtifact:
     #: survey / merge / portability questions.  Empty for single-model
     #: runs, whose only profile *is* ``checked``.
     profiles: Tuple[Tuple[ConformanceProfile, ...], ...] = ()
+    #: Execution-engine counters as sorted ``(key, value)`` pairs —
+    #: the sharded backend reports shard count, warmup size, arena
+    #: rows/states and pool-wide memo hit/miss totals here.  Empty for
+    #: backends without ``run_stats``.
+    engine_stats: Tuple[Tuple[str, int], ...] = ()
 
     # -- derived views --------------------------------------------------------
 
@@ -194,6 +202,8 @@ class RunArtifact:
             "plan": self.plan,
             "seeds": list(self.seeds),
             "check_on": list(self.check_on),
+            "engine_stats": {key: value
+                             for key, value in self.engine_stats},
             "traces": [
                 {
                     "target_function": target,
@@ -247,7 +257,10 @@ class RunArtifact:
                    plan=payload.get("plan", ""),
                    seeds=tuple(payload.get("seeds", ())),
                    check_on=tuple(payload.get("check_on", ())),
-                   profiles=tuple(profile_rows))
+                   profiles=tuple(profile_rows),
+                   engine_stats=tuple(sorted(
+                       (key, int(value)) for key, value in
+                       payload.get("engine_stats", {}).items())))
 
     def save(self, path: str | pathlib.Path,
              indent: int | None = 2) -> None:

@@ -270,6 +270,13 @@ class Session:
         covered: set = set()
         for record in records:
             covered |= record.outcome.covered
+        # Backends exposing run_stats (the sharded backend's shard /
+        # warmup / arena hit-miss counters) get them recorded in the
+        # artifact (format v4) as sorted (key, value) pairs.
+        stats_fn = getattr(self.backend, "run_stats", None)
+        engine_stats = (tuple(sorted(
+            (str(k), int(v)) for k, v in stats_fn().items()))
+            if callable(stats_fn) else ())
         if self.check_on and any(
                 len(r.outcome.profiles) != len(self.check_on)
                 for r in records):
@@ -292,7 +299,8 @@ class Session:
             seeds=self.plan.seeds(),
             check_on=self.check_on,
             profiles=(tuple(r.outcome.profiles for r in records)
-                      if self.check_on else ()))
+                      if self.check_on else ()),
+            engine_stats=engine_stats)
 
     def run(self, progress: Optional[ProgressFn] = None) -> RunArtifact:
         """Run the pipeline (once) and return its artifact.

@@ -15,6 +15,8 @@ packages the pipeline accordingly::
         --sample 100 --seed 7
     python -m repro run --config linux_ext4 --plan randomized \\
         --sample 50 --seed 3
+    python -m repro run --config linux_ext4 --backend sharded \\
+        --shards 4
     python -m repro survey
     python -m repro coverage --config linux_ext4
     python -m repro plans
@@ -161,8 +163,9 @@ def _cmd_gen(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    with make_backend(args.processes,
-                      chunksize=args.chunksize) as backend:
+    with make_backend(args.processes, chunksize=args.chunksize,
+                      backend=args.backend,
+                      shards=args.shards) as backend:
         session = Session(args.config, model=args.model,
                           check_on=_parse_platforms(args.check_on)
                           if args.check_on else None,
@@ -184,8 +187,9 @@ def _cmd_run(args) -> int:
 def _cmd_survey(args) -> int:
     configs = (args.configs.split(",") if args.configs
                else [cfg.name for cfg in ALL_CONFIGS])
-    with make_backend(args.processes,
-                      chunksize=args.chunksize) as backend:
+    with make_backend(args.processes, chunksize=args.chunksize,
+                      backend=args.backend,
+                      shards=args.shards) as backend:
         artifacts = survey(configs, plan=_plan_from_args(args),
                            backend=backend)
     print(render_summary_table([a.suite_result for a in artifacts]))
@@ -195,8 +199,9 @@ def _cmd_survey(args) -> int:
 
 
 def _cmd_coverage(args) -> int:
-    with make_backend(args.processes,
-                      chunksize=args.chunksize) as backend:
+    with make_backend(args.processes, chunksize=args.chunksize,
+                      backend=args.backend,
+                      shards=args.shards) as backend:
         session = Session(args.config, model=args.model,
                           plan=_plan_from_args(args),
                           backend=backend, collect_coverage=True)
@@ -258,6 +263,17 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunksize", type=int, default=None,
                         help="traces per worker chunk (default: "
                              "derived from the suite size)")
+    parser.add_argument("--backend", default=None,
+                        choices=["serial", "process", "sharded"],
+                        help="backend family (default: derived from "
+                             "--processes/--shards); 'sharded' "
+                             "partitions the suite across shard "
+                             "workers sharing one read-mostly "
+                             "transition memo")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard workers for the sharded backend "
+                             "(default: --processes, else CPU count); "
+                             "implies --backend sharded")
 
 
 def _add_plan_flags(parser: argparse.ArgumentParser) -> None:

@@ -10,8 +10,8 @@ specification coverage (section 7.2).
 
 from repro.harness.backends import (Backend, CheckOutcome, PipelineRun,
                                     ProcessPoolBackend, SerialBackend,
-                                    make_backend, owned_backend,
-                                    run_pipeline)
+                                    ShardedBackend, make_backend,
+                                    owned_backend, run_pipeline)
 from repro.harness.run import (SuiteResult, TraceFailure,
                                as_suite_result, check_traces,
                                execute_suite, run_and_check,
@@ -35,7 +35,8 @@ from repro.harness.ci import (RegressionReport, compare_to_baseline,
 
 __all__ = [
     "Backend", "CheckOutcome", "PipelineRun", "ProcessPoolBackend",
-    "SerialBackend", "make_backend", "owned_backend", "run_pipeline",
+    "SerialBackend", "ShardedBackend", "make_backend", "owned_backend",
+    "run_pipeline",
     "SuiteResult", "TraceFailure", "as_suite_result", "check_traces",
     "execute_suite", "run_and_check", "suite_result_from",
     "measure_coverage",

@@ -37,7 +37,7 @@ first place.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
 from repro.engine import InternTable
 
@@ -111,16 +111,55 @@ class PrefixCache:
 
         An existing child (from a racing walk that stopped caching) is
         refreshed rather than duplicated.
+
+        The snapshot is materialised *here*, before anything is
+        published: a caller handing over a live view (``dict.items()``
+        of a mask table the checking loop keeps updating — observable
+        under the pool's bounded-feed window, where a feeder thread
+        overlaps the parent's warmup checking) would otherwise store
+        rows whose masks are still being applied.  A fresh child is
+        fully built before it is linked into ``children``, so a
+        concurrent ``lookup`` can never see a half-initialised node.
         """
+        states_items, peaks = snapshot
+        if type(states_items) is not tuple:
+            # A live view (dict.items()) or other lazy rows: freeze
+            # them now.  A tuple is trusted to hold materialised row
+            # tuples — the in-repo producer builds exactly that, and
+            # re-copying it per stored label would double the hot
+            # path's allocation.
+            states_items = tuple(tuple(row) for row in states_items)
+        snapshot = (states_items, tuple(peaks))
         child = node.children.get(label)
         if child is None:
             if self._nodes >= self.max_nodes:
                 return None
             child = _Node()
+            child.snapshot = snapshot
             node.children[label] = child
             self._nodes += 1
-        child.snapshot = snapshot
+        else:
+            child.snapshot = snapshot
         return child
+
+    def live_state_ids(self, key: Hashable = ()) -> FrozenSet[int]:
+        """Every state id referenced by a live snapshot of a partition.
+
+        This is the epoch-reclamation input for the shared memo arena
+        (:mod:`repro.engine.shard`): memo rows for these ids must
+        survive reclamation, because a prefix hit can resume checking
+        from any of them; everything else may be dropped and re-derived
+        on demand.
+        """
+        ids: set = set()
+        root = self._roots.get(key)
+        stack = [root] if root is not None else []
+        while stack:
+            node = stack.pop()
+            if node.snapshot is not None:
+                ids.update(sid for sid, _mask in node.snapshot[0])
+            stack.extend(node.children.values())
+        return frozenset(ids)
 
     def stats(self) -> Dict[str, int]:
         return {"nodes": self._nodes, "hits": self.hits,

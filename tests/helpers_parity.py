@@ -1,0 +1,137 @@
+"""The cross-engine parity harness.
+
+Every checking engine in the repo must produce *bit-for-bit* the same
+per-platform results — deviations, ``max_state_set`` peaks,
+``labels_checked``, pruning flags — as the original uninterned
+frozenset-of-dataclass loop.  This module is the single place that
+contract lives: each engine registers a factory in :data:`ENGINES`, and
+``tests/test_engine_parity.py`` parametrizes every parity test
+(handwritten suite on clean and quirky configurations, plus a seeded
+randomized property sweep) over the registry.  A future engine gets
+full parity coverage by adding **one** :func:`register_engine` call.
+
+An engine factory takes a platform tuple and returns a checker
+function: ``check(traces) -> [ {platform: row} per trace ]`` where a
+row is the comparable ``(deviations, max_state_set, labels_checked,
+pruned)`` tuple.  Factories may keep warm state across the traces of
+one call — cross-trace memo reuse is deliberately under test.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.checker.checker import TraceChecker
+from repro.engine import ArenaReader, MemoArena
+from repro.executor import execute_script
+from repro.fsimpl import config_by_name
+from repro.oracle import VectoredOracle
+from repro.testgen.generator import gen_handwritten_tests
+
+#: The comparable slice of a CheckedTrace / ConformanceProfile.
+Row = Tuple[tuple, int, int, bool]
+
+#: One clean and two quirky configurations: the quirky ones produce
+#: deviations, recovery and pruning (freebsd_ufs adds the clobbering
+#: rename semantics), so parity covers the unhappy paths too.
+PARITY_CONFIGS = ("linux_ext4", "linux_sshfs_tmpfs", "freebsd_ufs")
+
+
+def checked_row(checked) -> Row:
+    return (checked.deviations, checked.max_state_set,
+            checked.labels_checked, checked.pruned)
+
+
+def profile_row(profile) -> Row:
+    return (profile.deviations, profile.max_state_set,
+            profile.labels_checked, profile.pruned)
+
+
+CheckFn = Callable[[Sequence], List[Dict[str, Row]]]
+EngineFactory = Callable[[Tuple[str, ...]], CheckFn]
+
+ENGINES: Dict[str, EngineFactory] = {}
+
+
+def register_engine(name: str, factory: EngineFactory) -> None:
+    """Register an engine for parity coverage (one entry per engine)."""
+    if name in ENGINES:
+        raise ValueError(f"engine {name!r} already registered")
+    ENGINES[name] = factory
+
+
+def _make_uninterned(platforms: Tuple[str, ...]) -> CheckFn:
+    """The canonical baseline: the original frozenset state-set loop."""
+    from repro.core.platform import spec_by_name
+    checkers = {p: TraceChecker(spec_by_name(p), intern=False)
+                for p in platforms}
+    def check(traces):
+        return [{p: checked_row(checkers[p].check(trace))
+                 for p in platforms} for trace in traces]
+    return check
+
+
+def _make_interned(platforms: Tuple[str, ...]) -> CheckFn:
+    """Hash-consed ids + warm per-platform transition memos."""
+    from repro.core.platform import spec_by_name
+    checkers = {p: TraceChecker(spec_by_name(p)) for p in platforms}
+    def check(traces):
+        return [{p: checked_row(checkers[p].check(trace))
+                 for p in platforms} for trace in traces]
+    return check
+
+
+def _make_vectored(platforms: Tuple[str, ...]) -> CheckFn:
+    """One masked exploration for all platforms, with prefix cache."""
+    oracle = VectoredOracle(platforms)
+    def check(traces):
+        return [{profile.platform: profile_row(profile)
+                 for profile in oracle.check(trace).profiles}
+                for trace in traces]
+    return check
+
+
+def _make_sharded(platforms: Tuple[str, ...]) -> CheckFn:
+    """The sharded backend's worker engine: check through a fresh
+    oracle that adopted a shared memo arena packed by a warm one.
+
+    A quarter of the traces warm the packing oracle (so the arena holds
+    genuinely shared rows *and* genuine gaps — both the hit path and
+    the local-derivation fallback are exercised), then every trace is
+    checked through the adopting oracle.
+    """
+    def check(traces):
+        warm = VectoredOracle(platforms)
+        for trace in traces[:max(1, len(traces) // 4)]:
+            warm.check(trace)
+        table, memos = warm.engine_snapshot()
+        with MemoArena.create(table, memos) as arena:
+            with ArenaReader.attach(arena.handle()) as reader:
+                oracle = VectoredOracle(platforms)
+                oracle.adopt_shared_memo(reader)
+                return [{profile.platform: profile_row(profile)
+                         for profile in oracle.check(trace).profiles}
+                        for trace in traces]
+    return check
+
+
+register_engine("uninterned", _make_uninterned)
+register_engine("interned", _make_interned)
+register_engine("vectored", _make_vectored)
+register_engine("sharded", _make_sharded)
+
+
+@functools.lru_cache(maxsize=None)
+def handwritten_traces(config: str) -> tuple:
+    """The handwritten suite executed on ``config`` (cached: every
+    engine x config parametrization shares one execution pass)."""
+    quirks = config_by_name(config)
+    return tuple(execute_script(quirks, script)
+                 for script in gen_handwritten_tests())
+
+
+@functools.lru_cache(maxsize=None)
+def baseline_rows(config: str, platforms: Tuple[str, ...]) -> tuple:
+    """Uninterned rows for the handwritten suite (shared baseline)."""
+    return tuple(_make_uninterned(platforms)(handwritten_traces(config)))

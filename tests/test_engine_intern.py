@@ -2,27 +2,26 @@
 
 The engine's contract is *bit-for-bit* parity: hash-consing states and
 memoizing transitions must never change a verdict, a deviation, a
-``max_state_set`` peak or a pruning flag.  Parity is checked three
-ways: unit equivalences against the raw ``osapi`` transition
-functions, the handwritten suite on clean and quirky configurations,
-and a randomized interned-vs-uninterned property sweep.
+``max_state_set`` peak or a pruning flag.  The suite-level parity
+sweeps (handwritten suite on clean/quirky configurations, randomized
+property sweep, every engine) live in the cross-engine harness —
+``tests/test_engine_parity.py`` over ``helpers_parity.ENGINES`` — so
+this module keeps only the unit equivalences against the raw ``osapi``
+transition functions and the engine-specific memo/cache behaviour.
 """
-
-import pytest
 
 from repro.checker.checker import TraceChecker, _recover
 from repro.core.labels import OsCall, OsCreate
-from repro.core.platform import SPECS, spec_by_name
+from repro.core.platform import spec_by_name
 from repro.core import commands as C
 from repro.engine import InternTable, TransitionMemo, recover_states
 from repro.executor import execute_script
 from repro.fsimpl import config_by_name
 from repro.osapi.os_state import SpecialOsState, initial_os_state
 from repro.osapi.transition import os_trans, tau_closure
-from repro.oracle import ModelOracle, PrefixCache, VectoredOracle
+from repro.oracle import ModelOracle, PrefixCache
 from repro.script import parse_trace
 from repro.testgen.generator import gen_handwritten_tests
-from repro.testgen.randomized import random_suite
 
 LINUX = spec_by_name("linux")
 
@@ -114,48 +113,7 @@ class TestTransitionMemo:
         assert table.states_of(kept) == want
 
 
-def _check_both(spec, trace, groups=None):
-    interned = TraceChecker(spec, groups).check(trace)
-    baseline = TraceChecker(spec, groups, intern=False).check(trace)
-    return interned, baseline
-
-
-class TestCheckerParity:
-    @pytest.mark.parametrize("config", ["linux_ext4",
-                                        "linux_sshfs_tmpfs"])
-    def test_handwritten_suite_parity(self, config):
-        """Interned results identical on every platform, clean and
-        quirky configurations (the quirky one produces deviations,
-        recovery and diagnostics)."""
-        quirks = config_by_name(config)
-        traces = [execute_script(quirks, script)
-                  for script in gen_handwritten_tests()]
-        for platform in SPECS:
-            spec = spec_by_name(platform)
-            interned_checker = TraceChecker(spec)
-            baseline_checker = TraceChecker(spec, intern=False)
-            for trace in traces:
-                assert (interned_checker.check(trace)
-                        == baseline_checker.check(trace)), \
-                    (platform, trace.name)
-
-    def test_randomized_property_parity(self):
-        """The property test of the acceptance criterion: random
-        scripts, every platform, interned == uninterned bit for bit.
-        A warm checker is reused across traces so cross-trace memo
-        reuse is itself under test."""
-        for config in ("linux_ext4", "osx_hfsplus"):
-            quirks = config_by_name(config)
-            for platform in SPECS:
-                spec = spec_by_name(platform)
-                warm = TraceChecker(spec)
-                cold = TraceChecker(spec, intern=False)
-                for script in random_suite(12, base_seed=2024,
-                                           length=25):
-                    trace = execute_script(quirks, script)
-                    assert warm.check(trace) == cold.check(trace), \
-                        (config, platform, script.name)
-
+class TestWarmMemoReuse:
     def test_warm_memo_is_reused_across_traces(self):
         quirks = config_by_name("linux_ext4")
         traces = [execute_script(quirks, script)
@@ -170,38 +128,6 @@ class TestCheckerParity:
         # ...and still yields the uninterned results.
         baseline = TraceChecker(LINUX, intern=False)
         assert results == [baseline.check(trace) for trace in traces]
-
-    def test_deviating_trace_parity_with_recovery(self):
-        trace = parse_trace(
-            "@type trace\n# Test dev\n"
-            '1: mkdir "a" 0o755\nEPERM\n'
-            '2: mkdir "a" 0o755\nEEXIST\n'
-            '3: unlink "a"\nEISDIR\n')
-        for platform in SPECS:
-            spec = spec_by_name(platform)
-            interned, baseline = _check_both(spec, trace)
-            assert interned == baseline
-
-
-class TestVectoredParityUninterned:
-    def test_vectored_profiles_match_uninterned_checkers(self):
-        """Vectored (interned, cached) vs the original uninterned
-        frozenset loop — closing the loop across both rewrites."""
-        quirks = config_by_name("linux_sshfs_tmpfs")
-        traces = [execute_script(quirks, script)
-                  for script in gen_handwritten_tests()]
-        oracle = VectoredOracle(tuple(SPECS))
-        checkers = {p: TraceChecker(spec_by_name(p), intern=False)
-                    for p in SPECS}
-        for trace in traces:
-            verdict = oracle.check(trace)
-            for profile in verdict.profiles:
-                checked = checkers[profile.platform].check(trace)
-                assert profile.deviations == checked.deviations
-                assert profile.max_state_set == checked.max_state_set
-                assert profile.labels_checked == checked.labels_checked
-                assert profile.pruned == checked.pruned
-
 
 class TestEngineWithPrefixCache:
     def test_shared_cache_shares_intern_table(self):

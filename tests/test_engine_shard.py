@@ -1,0 +1,259 @@
+"""Property tests for the shared transition-memo arena.
+
+The arena's contract (``repro.engine.shard``) has three load-bearing
+properties, each tested here directly:
+
+* **Fidelity** — every row a reader looks up equals the memo entry it
+  was packed from, through shared memory and through the plain-bytes
+  fallback, and concurrent readers in other processes may attach and
+  detach freely while the owner stays attached.
+* **Fallback parity** — a ``SharedTransitionMemo`` over an *empty*
+  arena (all misses, local derivation) computes exactly what one over
+  a fully packed arena serves (all hits), so an arena miss can never
+  change a verdict.
+* **Reclamation safety** — epoch reclamation (``keep_sids``) never
+  drops a row whose state id is referenced by a live prefix-cache
+  snapshot, and does drop unreferenced rows.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import commands as C
+from repro.core.labels import OsCall, OsCreate, OsReturn, OsTau
+from repro.core.platform import spec_by_name
+from repro.core.values import Ok
+from repro.engine import (ArenaReader, InternTable, MemoArena,
+                          SharedTransitionMemo, TransitionMemo)
+from repro.executor import execute_script
+from repro.fsimpl import config_by_name
+from repro.oracle import ModelOracle
+from repro.osapi.os_state import initial_os_state
+from repro.script import parse_script
+
+LINUX = spec_by_name("linux")
+
+
+def _warm_memo():
+    """A small but real memo: a few labels explored on linux."""
+    table = InternTable()
+    memo = TransitionMemo(LINUX, table)
+    ids = frozenset({table.intern(initial_os_state())})
+    for label in (OsCreate(1, 0, 0), OsCall(1, C.Mkdir("a", 0o755)),
+                  OsTau(), OsReturn(1, Ok(None)),
+                  OsCall(1, C.Rmdir("a"))):
+        ids = memo.apply(ids, label)
+        ids = memo.closure(ids)
+    return table, memo
+
+
+def _assert_reader_matches_memo(reader, memo):
+    for (sid, label), succs in memo._trans.items():
+        assert reader.lookup_trans(LINUX.name, sid, label) == succs, \
+            (sid, label)
+    for sid, closed in memo._closures.items():
+        assert reader.lookup_closure(LINUX.name, sid) == closed, sid
+    assert reader.lookup_trans(LINUX.name, 10**6, OsTau()) is None
+    assert reader.lookup_closure(LINUX.name, 10**6) is None
+
+
+class TestArenaFidelity:
+    @pytest.mark.parametrize("use_shm", [True, False])
+    def test_rows_round_trip(self, use_shm):
+        table, memo = _warm_memo()
+        with MemoArena.create(table, [memo],
+                              use_shm=use_shm) as arena:
+            assert arena.rows == len(memo._trans) + len(memo._closures)
+            with ArenaReader.attach(arena.handle()) as reader:
+                assert reader.specs == (LINUX.name,)
+                assert len(reader.states) == len(table)
+                _assert_reader_matches_memo(reader, memo)
+
+    def test_seed_table_reproduces_ids(self):
+        table, memo = _warm_memo()
+        with MemoArena.create(table, [memo]) as arena:
+            with ArenaReader.attach(arena.handle()) as reader:
+                fresh = InternTable()
+                reader.seed_table(fresh)
+                assert len(fresh) == len(table)
+                for sid in range(len(table)):
+                    assert fresh.state_of(sid) == table.state_of(sid)
+                # A misaligned table is refused, not silently wrong.
+                skewed = InternTable()
+                skewed.intern(reader.states[-1])
+                with pytest.raises(ValueError, match="align"):
+                    reader.seed_table(skewed)
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        table, memo = _warm_memo()
+        with MemoArena.create(table, [memo]) as arena:
+            handle = pickle.loads(pickle.dumps(arena.handle()))
+            with ArenaReader.attach(handle) as reader:
+                _assert_reader_matches_memo(reader, memo)
+
+
+def _reader_probe(handle, expected_rows, out_q):
+    """Subprocess body: attach, look up everything, detach."""
+    try:
+        with ArenaReader.attach(handle) as reader:
+            count = 0
+            for spec in reader.specs:
+                section = reader._sections[spec]
+                for sid in range(len(reader.states)):
+                    row = reader.lookup_closure(spec, sid)
+                    if row is not None:
+                        count += 1
+                count += section["trans"]["n"]
+        out_q.put(("ok", count == expected_rows))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        out_q.put(("error", repr(exc)))
+
+
+class TestConcurrentReaders:
+    def test_attach_detach_across_processes(self):
+        """Several reader processes attach, read everything and detach
+        concurrently while the owner stays attached; every reader sees
+        the full row set."""
+        table, memo = _warm_memo()
+        with MemoArena.create(table, [memo]) as arena:
+            ctx = multiprocessing.get_context()
+            out_q = ctx.Queue()
+            procs = [ctx.Process(target=_reader_probe,
+                                 args=(arena.handle(), arena.rows,
+                                       out_q))
+                     for _ in range(4)]
+            for proc in procs:
+                proc.start()
+            results = [out_q.get() for _ in procs]
+            for proc in procs:
+                proc.join()
+            assert results == [("ok", True)] * 4
+            # The owner's view is untouched by reader churn.
+            with ArenaReader.attach(arena.handle()) as reader:
+                _assert_reader_matches_memo(reader, memo)
+
+
+class TestFallbackParity:
+    def test_miss_path_equals_hit_path(self):
+        """An empty arena (every lookup misses, local derivation) and a
+        full arena (every warmed row hits) produce identical apply and
+        closure results — the fallback can never change a verdict."""
+        table, memo = _warm_memo()
+        empty_table = InternTable()
+        empty_memo = TransitionMemo(LINUX, empty_table)
+        with MemoArena.create(table, [memo]) as full_arena, \
+                MemoArena.create(empty_table, [empty_memo]) as gap_arena:
+            with ArenaReader.attach(full_arena.handle()) as full, \
+                    ArenaReader.attach(gap_arena.handle()) as gaps:
+                hit_table = InternTable()
+                full.seed_table(hit_table)
+                hit = SharedTransitionMemo(LINUX, hit_table, full)
+                miss_table = InternTable()
+                full.seed_table(miss_table)  # same ids, no rows served
+                miss = SharedTransitionMemo(LINUX, miss_table, gaps)
+                for (sid, label) in memo._trans:
+                    assert frozenset(hit.apply_one(sid, label)) == \
+                        frozenset(miss.apply_one(sid, label)), \
+                        (sid, label)
+                for sid in memo._closures:
+                    assert hit.closure_one(sid) == miss.closure_one(sid)
+                assert hit.arena_hits > 0 and hit.arena_misses == 0
+                assert miss.arena_misses > 0 and miss.arena_hits == 0
+
+    def test_stats_surface_arena_counters(self):
+        table, memo = _warm_memo()
+        with MemoArena.create(table, [memo]) as arena:
+            with ArenaReader.attach(arena.handle()) as reader:
+                seeded = InternTable()
+                reader.seed_table(seeded)
+                shared = SharedTransitionMemo(LINUX, seeded, reader)
+                shared.closure_one(0)
+                stats = shared.stats()
+                assert stats["arena_hits"] + stats["arena_misses"] > 0
+
+
+class TestEpochReclamation:
+    def test_live_snapshot_rows_survive(self):
+        """The reclamation property: rows for every state id referenced
+        by a live prefix-cache snapshot survive ``keep_sids``; rows for
+        unreferenced ids are dropped (and re-derivable on miss)."""
+        quirks = config_by_name("linux_ext4")
+        oracle = ModelOracle("linux")
+        for i in range(4):
+            script = parse_script(
+                '@type script\n# Test t%d\nmkdir "d%d" 0o755\n'
+                'stat "d%d"\n' % (i, i, i))
+            oracle.check(execute_script(quirks, script))
+        table, memos = oracle.engine_snapshot()
+        live = oracle.cache.live_state_ids(oracle.cache_key)
+        assert live  # clean traces must have produced snapshots
+        with MemoArena.create(table, memos,
+                              keep_sids=live) as reclaimed, \
+                MemoArena.create(table, memos) as full:
+            dropped = sum(
+                1 for memo in memos
+                for (sid, _label) in memo._trans if sid not in live)
+            dropped += sum(
+                1 for memo in memos
+                for sid in memo._closures if sid not in live)
+            assert reclaimed.rows + dropped == full.rows
+            with ArenaReader.attach(reclaimed.handle()) as reader, \
+                    ArenaReader.attach(full.handle()) as baseline:
+                for memo in memos:
+                    spec = memo.spec.name
+                    for (sid, label), succs in memo._trans.items():
+                        got = reader.lookup_trans(spec, sid, label)
+                        if sid in live:
+                            assert got == succs, (spec, sid, label)
+                        else:
+                            assert got is None, (spec, sid, label)
+                    for sid, closed in memo._closures.items():
+                        got = reader.lookup_closure(spec, sid)
+                        if sid in live:
+                            assert got == closed
+                        else:
+                            assert got is None
+                # The unfiltered arena still serves everything.
+                for memo in memos:
+                    for (sid, label), succs in memo._trans.items():
+                        assert baseline.lookup_trans(
+                            memo.spec.name, sid, label) == succs
+
+    def test_reclaimed_arena_still_checks_identically(self):
+        """End to end: an oracle adopting a *reclaimed* arena still
+        matches one adopting the full arena (misses fall back)."""
+        quirks = config_by_name("linux_sshfs_tmpfs")
+        scripts = [parse_script(
+            '@type script\n# Test r%d\nmkdir "d%d" 0o755\n'
+            'rmdir "d%d"\n' % (i, i, i)) for i in range(3)]
+        traces = [execute_script(quirks, s) for s in scripts]
+        warm = ModelOracle("linux")
+        for trace in traces:
+            warm.check(trace)
+        table, memos = warm.engine_snapshot()
+        live = warm.cache.live_state_ids(warm.cache_key)
+        with MemoArena.create(table, memos, keep_sids=live) as arena:
+            with ArenaReader.attach(arena.handle()) as reader:
+                adopted = ModelOracle("linux")
+                adopted.adopt_shared_memo(reader)
+                baseline = ModelOracle("linux", cache=False)
+                for trace in traces:
+                    assert adopted.check(trace).profiles == \
+                        baseline.check(trace).profiles
+
+
+class TestPrefixCacheLiveIds:
+    def test_live_state_ids_partitioned(self):
+        from repro.oracle import PrefixCache
+
+        cache = PrefixCache()
+        root_a = cache.root("a")
+        cache.extend(root_a, "l1", (((1, 3), (2, 1)), (2,)))
+        root_b = cache.root("b")
+        cache.extend(root_b, "l1", (((7, 1),), (1,)))
+        assert cache.live_state_ids("a") == frozenset({1, 2})
+        assert cache.live_state_ids("b") == frozenset({7})
+        assert cache.live_state_ids("missing") == frozenset()

@@ -3,9 +3,9 @@
 Covers: the vectored multi-platform oracle's bit-for-bit parity with
 independent ``TraceChecker`` passes (the acceptance criterion), prefix
 memoization, the determinized reference triage, the oracle registry,
-``Session(check_on=...)`` with RunArtifact v3 (exact round trip plus
-loading checked-in v1/v2 fixtures), the deprecated shims, and the new
-CLI surface (``repro check --platforms``, ``repro oracles``).
+``Session(check_on=...)`` with RunArtifact v3/v4 (exact round trips
+plus loading checked-in v1/v2/v3 fixtures), the deprecated shims, and
+the CLI surface (``repro check --platforms``, ``repro oracles``).
 """
 
 import dataclasses
@@ -71,21 +71,10 @@ def _profiles_match(profile, checked):
 
 
 class TestVectoredParity:
-    @pytest.mark.parametrize("config", ["linux_sshfs_tmpfs",
-                                        "freebsd_ufs"])
-    def test_profiles_identical_to_independent_checkers(self, config):
-        """The acceptance criterion: one vectored pass == four
-        independent TraceChecker passes, field for field."""
-        oracle = VectoredOracle(tuple(SPECS))
-        checkers = {p: TraceChecker(spec_by_name(p)) for p in SPECS}
-        for trace in _handwritten_traces(config):
-            verdict = oracle.check(trace)
-            assert tuple(p.platform for p in verdict.profiles) == \
-                tuple(SPECS)
-            for profile in verdict.profiles:
-                checked = checkers[profile.platform].check(trace)
-                assert _profiles_match(profile, checked), \
-                    f"{trace.name} on {profile.platform}"
+    # The suite-level vectored-vs-uninterned parity sweeps moved to the
+    # cross-engine harness (tests/test_engine_parity.py over
+    # helpers_parity.ENGINES); this class keeps only the oracle-API
+    # specific behaviours around them.
 
     def test_model_oracle_is_tracechecker_shim_parity(self):
         """Satellite: TraceChecker stays a working deprecated shim —
@@ -304,9 +293,49 @@ class TestSessionCheckOn:
         assert artifact.total == 2
         assert artifact.plan == "explicit[2]"
         assert artifact.check_on == () and artifact.profiles == ()
-        # v2 round-trips through the v3 writer (profiles stay absent).
+        # v2 round-trips through the current writer (profiles absent).
         assert RunArtifact.from_json(artifact.to_json()).checked == \
             artifact.checked
+
+    def test_fixture_v3_loads(self):
+        artifact = RunArtifact.load(FIXTURES / "artifact_v3.json")
+        assert artifact.total == 2
+        assert artifact.check_on == tuple(SPECS)
+        assert all(len(row) == len(SPECS) for row in artifact.profiles)
+        assert artifact.engine_stats == ()  # pre-v4: no engine stats
+        assert artifact.failing
+        # v3 round-trips through the v4 writer unchanged.
+        reloaded = RunArtifact.from_json(artifact.to_json())
+        assert reloaded.profiles == artifact.profiles
+        assert reloaded.checked == artifact.checked
+
+
+class TestRunArtifactV4:
+    def test_engine_stats_round_trip(self):
+        """RunArtifact v4: shard counts and memo hit/miss stats from
+        the sharded backend survive an exact JSON round trip."""
+        from repro.api import ShardedBackend
+
+        with Session("linux_sshfs_tmpfs", model="posix",
+                     check_on=list(SPECS), suite=SMALL_SUITE * 3,
+                     backend=ShardedBackend(2, warmup=2)) as s:
+            artifact = s.run()
+        stats = dict(artifact.engine_stats)
+        assert stats["shards"] == 2
+        assert stats["warmup_traces"] == 2
+        assert stats["arena_rows"] > 0
+        assert "arena_hits" in stats and "arena_misses" in stats
+        assert artifact.failing  # deviations must survive the trip too
+        assert RunArtifact.from_json(artifact.to_json()) == artifact
+        payload = __import__("json").loads(artifact.to_json())
+        assert payload["format"] == 4
+        assert payload["engine_stats"]["shards"] == 2
+
+    def test_backends_without_run_stats_record_nothing(self):
+        with Session("linux_ext4", suite=SMALL_SUITE) as s:
+            artifact = s.run()
+        assert artifact.engine_stats == ()
+        assert RunArtifact.from_json(artifact.to_json()) == artifact
 
     def test_conformance_counts_and_failing_on(self):
         with Session("linux_ext4", check_on=["linux", "osx"],

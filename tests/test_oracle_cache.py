@@ -155,3 +155,84 @@ class TestInternedSnapshots:
         assert (cached.check(other).profiles
                 == uncached.check(other).profiles)
         assert cached.cache.hits > 0
+
+
+class TestExtendSnapshotInterleaving:
+    """Regression: a snapshot handed to ``extend`` as a *live view* of
+    a mask table the checking loop keeps updating (observable under
+    the pool's bounded-feed window, where a feeder thread overlaps the
+    parent's warmup checking) must be materialised at store time — a
+    later mask update may never leak into the stored snapshot."""
+
+    def test_extend_materialises_live_views(self):
+        cache = PrefixCache()
+        root = cache.root()
+        states = {0: 1, 1: 3}
+        child = cache.extend(root, L1, (states.items(), (2,)))
+        # The writer keeps applying masks after the store...
+        states[1] = 7
+        states[2] = 1
+        # ...but the stored snapshot froze at extend() time.
+        assert child.snapshot == (((0, 1), (1, 3)), (2,))
+        hit = cache.lookup(root, L1)
+        assert hit is not None and hit.snapshot == (((0, 1), (1, 3)),
+                                                    (2,))
+
+    def test_refreshed_snapshot_is_also_materialised(self):
+        cache = PrefixCache()
+        root = cache.root()
+        cache.extend(root, L1, SNAP_A)
+        states = {5: 2}
+        child = cache.extend(root, L1, (states.items(), (1,)))
+        states[5] = 6
+        assert child.snapshot == (((5, 2),), (1,))
+
+    def test_interleaved_extend_and_snapshot_threads(self):
+        """A writer thread mutating masks while a checker thread
+        extends: every stored snapshot is a fully-materialised tuple
+        of int pairs (never a live view, never a half-built node)."""
+        import threading
+
+        cache = PrefixCache()
+        root = cache.root()
+        states = {i: 1 for i in range(8)}
+        stop = threading.Event()
+
+        def writer():
+            mask = 1
+            while not stop.is_set():
+                mask = (mask << 1) % 255 or 1
+                for sid in states:
+                    states[sid] = mask
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for step in range(200):
+                label = OsCall(1, C.Mkdir(f"d{step}", 0o755))
+                child = cache.extend(root, label,
+                                     (states.items(), (step,)))
+                assert child is not None
+                items, peaks = child.snapshot
+                assert isinstance(items, tuple)
+                assert all(isinstance(row, tuple) and len(row) == 2
+                           for row in items)
+                # A materialised row can never change underneath us.
+                frozen = child.snapshot
+                for sid in states:
+                    states[sid] ^= 0xFF
+                assert child.snapshot == frozen
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_fresh_children_publish_fully_built(self):
+        """``lookup`` can never observe a snapshotless child created
+        by ``extend`` (children are linked only after their snapshot
+        is set); snapshotless children exist only for walks that
+        stopped caching."""
+        cache = PrefixCache()
+        root = cache.root()
+        child = cache.extend(root, L1, SNAP_A)
+        assert root.children[L1] is child
+        assert child.snapshot is not None
