@@ -17,7 +17,14 @@ clean and a quirky configuration:
   speedups, and ``--strict`` only enforces the target when at least 4
   CPUs are schedulable (a 1-CPU container cannot exhibit parallel
   speedup no matter how the work is sharded; parity is enforced
-  everywhere regardless).
+  everywhere regardless);
+* **amortization** — the persistent-pool story: one backend, many
+  ``check_iter`` calls.  The first call pays the cold start (spawn +
+  warmup + arena publish); later calls re-use the standing workers and
+  epoch.  Recorded per call: ``cold_call_s``, the mean
+  ``amortized_call_s`` of the repeat calls, the serial per-call
+  baseline, and ``repeat_sharded_vs_serial`` (>= 1.0 means the warm
+  pool beats serial on repeat calls even on one CPU).
 
 Usage::
 
@@ -62,6 +69,60 @@ def check_profiles(backend, traces):
     profiles = [outcome.profiles
                 for outcome in backend.check_iter(MODEL, traces)]
     return time.perf_counter() - t0, profiles
+
+
+def measure_amortization(config: str, sample: int, seed: int,
+                         warmup: int, calls: int = 5,
+                         shards: int = 2) -> dict:
+    """Cold-start vs amortized per-call cost of a persistent backend.
+
+    One suite, ``calls`` sequential ``check_iter`` calls against the
+    *same* backend: call 1 pays spawn + warmup + publish; the rest ride
+    the standing pool (and its verdict memos).  The serial baseline is
+    measured per call over the same repeats.
+    """
+    traces = build_traces(config, sample, repeats=1, seed=seed)
+    serial = SerialBackend()
+    serial_times = []
+    want = None
+    for _ in range(calls):
+        seconds, got = check_profiles(serial, traces)
+        serial_times.append(seconds)
+        want = got if want is None else want
+    serial_call_s = sum(serial_times[1:]) / max(1, calls - 1)
+
+    backend = ShardedBackend(shards, warmup=warmup)
+    mismatches = 0
+    try:
+        cold_call_s, got = check_profiles(backend, traces)
+        mismatches += sum(1 for g, w in zip(got, want) if g != w)
+        warm_times = []
+        for _ in range(calls - 1):
+            seconds, got = check_profiles(backend, traces)
+            warm_times.append(seconds)
+            mismatches += sum(1 for g, w in zip(got, want) if g != w)
+        stats = backend.run_stats()
+    finally:
+        backend.close()
+    amortized_call_s = sum(warm_times) / max(1, len(warm_times))
+    return {
+        "config": config,
+        "shards": shards,
+        "calls": calls,
+        "traces_per_call": len(traces),
+        "cold_call_s": round(cold_call_s, 4),
+        "amortized_call_s": round(amortized_call_s, 4),
+        "serial_call_s": round(serial_call_s, 4),
+        "cold_start_overhead_s": round(
+            cold_call_s - amortized_call_s, 4),
+        "repeat_sharded_vs_serial": round(
+            serial_call_s / amortized_call_s, 3)
+        if amortized_call_s else 0.0,
+        "pool_cold_starts": stats.get("pool_cold_starts", 0),
+        "epochs_published": stats.get("epochs_published", 0),
+        "verdict_hits": stats.get("verdict_hits", 0),
+        "profile_mismatches": mismatches,
+    }
 
 
 def main(argv=None) -> int:
@@ -148,6 +209,24 @@ def main(argv=None) -> int:
                   f"({shard_row['traces_per_s']:8.1f} traces/s)"
                   f"{extra}  [arena {shard_row['arena_hits']} hits / "
                   f"{shard_row['arena_misses']} misses]")
+
+    amortization = measure_amortization(
+        CONFIGS[1], sample=min(sample, 60), seed=args.seed,
+        warmup=args.warmup)
+    mismatches += amortization["profile_mismatches"]
+    result["amortization"] = amortization
+    print(f"\namortization ({amortization['config']}, "
+          f"{amortization['shards']} shards, "
+          f"{amortization['traces_per_call']} traces/call):")
+    print(f"  cold call : {amortization['cold_call_s']:7.3f} s "
+          f"(spawn + warmup + publish)")
+    print(f"  warm call : {amortization['amortized_call_s']:7.3f} s "
+          f"(mean of {amortization['calls'] - 1} repeats)")
+    print(f"  serial    : {amortization['serial_call_s']:7.3f} s "
+          f"per call")
+    print(f"  repeat sharded vs serial: "
+          f"{amortization['repeat_sharded_vs_serial']:.2f}x "
+          f"(>= 1.0 wanted)")
 
     worst = min(row["speedup_4_shards"]
                 for row in result["configs"].values())

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""CI smoke for the checking service: `repro serve` end to end.
+
+Starts a real ``repro serve`` subprocess (fresh interpreter, its own
+shard workers), submits the handwritten suite over the line-JSON
+socket through :class:`~repro.service.ServiceClient`, and asserts every
+served per-platform conformance profile is **bit-for-bit** identical to
+what an in-process :class:`~repro.api.SerialBackend` computes for the
+same traces.  Also exercises ``status`` and the clean ``shutdown``
+path, and checks the server wrote its final stats JSON (uploaded as a
+CI artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py \
+        [--shards N] [--stats-json OUT.json]
+
+Exit codes: 0 = parity + lifecycle clean; 1 = any mismatch or a server
+that failed to start/stop.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.executor import execute_script  # noqa: E402
+from repro.fsimpl import config_by_name  # noqa: E402
+from repro.harness.backends import SerialBackend  # noqa: E402
+from repro.oracle import ConformanceProfile  # noqa: E402
+from repro.script import print_trace  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.testgen.generator import gen_handwritten_tests  # noqa: E402
+
+MODEL = "all"
+CONFIG = "linux_sshfs_tmpfs"  # quirky: served deviations under test
+READY_RE = re.compile(r"repro serve: listening on (\S+)")
+
+
+def start_server(shards: int, stats_json: pathlib.Path):
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--model", MODEL, "--shards", str(shards), "--warmup", "4",
+         "--stats-json", str(stats_json)],
+        stdout=subprocess.PIPE, text=True, env=env)
+    deadline = time.monotonic() + 60
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        print(f"[server] {line.rstrip()}")
+        match = READY_RE.search(line)
+        if match:
+            return proc, match.group(1)
+    proc.kill()
+    raise RuntimeError("server never printed its listening address")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--stats-json", default="benchmarks/results/"
+                        "smoke_serve_stats.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    stats_json = pathlib.Path(args.stats_json)
+    stats_json.parent.mkdir(parents=True, exist_ok=True)
+    if stats_json.exists():
+        stats_json.unlink()
+
+    quirks = config_by_name(CONFIG)
+    traces = [execute_script(quirks, script)
+              for script in gen_handwritten_tests()]
+    want = [outcome.profiles
+            for outcome in SerialBackend().check_iter(MODEL, traces)]
+
+    proc, address = start_server(args.shards, stats_json)
+    mismatches = 0
+    try:
+        with ServiceClient(address) as client:
+            verdicts, done = client.check_batch(
+                [print_trace(t) for t in traces])
+            for trace, verdict, profiles in zip(traces, verdicts,
+                                                want):
+                got = tuple(ConformanceProfile.from_dict(row)
+                            for row in verdict["profiles"])
+                if got != profiles or verdict["name"] != trace.name:
+                    mismatches += 1
+                    print(f"MISMATCH: {trace.name}")
+            status = client.status()["engine_stats"]
+            client.shutdown()
+        returncode = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    print(f"\nserved {len(traces)} traces from {CONFIG} "
+          f"(model={MODEL}, {args.shards} shards) via {address}")
+    print(f"parity vs SerialBackend: {mismatches} mismatches")
+    print(f"server stats: submitted={status.get('traces_submitted')}, "
+          f"in-parent={status.get('resolved_in_parent')}, "
+          f"epochs={status.get('epochs_published')}, "
+          f"batch_done count={done.get('count')}")
+
+    failed = False
+    if mismatches:
+        print("FAIL: served profiles differ from the serial backend")
+        failed = True
+    if returncode != 0:
+        print(f"FAIL: server exited with {returncode}")
+        failed = True
+    if status.get("traces_submitted") != len(traces):
+        print("FAIL: server did not account for every submitted trace")
+        failed = True
+    if not stats_json.exists():
+        print(f"FAIL: server wrote no stats JSON at {stats_json}")
+        failed = True
+    else:
+        final = json.loads(stats_json.read_text())
+        print(f"final stats JSON at {stats_json}: "
+              f"{final.get('traces_submitted')} traces, "
+              f"{final.get('shards')} shards")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

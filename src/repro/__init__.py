@@ -26,7 +26,12 @@ al., SOSP 2015) in Python:
 * :mod:`repro.harness` -- the pipeline engine (pluggable serial /
   process-pool backends), coverage, merging and reports;
 * :mod:`repro.api` -- the :class:`Session` facade, the single front
-  door to the pipeline.
+  door to the pipeline;
+* :mod:`repro.service` -- the persistent checking service: a shard
+  pool whose workers outlive individual calls
+  (:class:`~repro.service.ShardPool`), the long-lived
+  :class:`CheckingService` session, and the ``repro serve`` asyncio
+  line-JSON front door with its blocking :class:`ServiceClient`.
 
 Quick start — select a plan, stream it through a :class:`Session` (one
 pipeline pass; every report renders from the same
@@ -98,8 +103,9 @@ from repro.harness import (measure_coverage, merge_results,
 from repro.api import (Backend, ProcessPoolBackend, RunArtifact,
                        SerialBackend, Session, ShardedBackend,
                        survey)
+from repro.service import CheckingService, ServiceClient
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "Errno", "OpenFlag", "PlatformSpec", "SeekWhence", "Stat",
@@ -117,5 +123,6 @@ __all__ = [
     "render_suite_result", "render_summary_table", "run_and_check",
     "Backend", "ProcessPoolBackend", "RunArtifact", "SerialBackend",
     "Session", "ShardedBackend", "survey",
+    "CheckingService", "ServiceClient",
     "__version__",
 ]

@@ -11,11 +11,15 @@ Artifacts serialise to JSON (``to_json``/``from_json``) for CI diffing;
 traces are stored in the paper's trace file format (Fig. 3), which
 round-trips exactly, so ``RunArtifact.from_json(a.to_json()) == a``.
 Format v3 added the multi-platform fields (``check_on`` and per-trace
-per-platform conformance profiles from the vectored oracle); v4 adds
+per-platform conformance profiles from the vectored oracle); v4 added
 ``engine_stats`` — the execution engine's counters (shard count,
 warmup size, shared-memo arena rows and pool-wide hit/miss totals)
-reported by backends with a ``run_stats`` method.  v1–v3 artifacts
-still load.
+reported by backends with a ``run_stats`` method; v5 extends
+``engine_stats`` with the persistent-pool amortization counters
+(``epochs_published``, ``pool_cold_starts``, ``epochs_adopted``,
+``verdict_hits``) — the layout itself is unchanged, the version bump
+marks that identical inputs now produce different (richer) stats
+dictionaries than a v4 writer would.  v1–v4 artifacts still load.
 """
 
 from __future__ import annotations
@@ -36,11 +40,12 @@ from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
 
 #: Bumped when the JSON layout changes incompatibly.
-FORMAT_VERSION = 4
+FORMAT_VERSION = 5
 
 #: Versions ``from_json`` still reads (v1 lacked plan provenance, v2
-#: the multi-platform conformance profiles, v3 the engine stats).
-_READABLE_VERSIONS = (1, 2, 3, 4)
+#: the multi-platform conformance profiles, v3 the engine stats, v4
+#: the amortization counters).
+_READABLE_VERSIONS = (1, 2, 3, 4, 5)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -31,7 +31,8 @@ from repro.fsimpl.quirks import Quirks
 from repro.gen import TestPlan, default_plan, explicit
 from repro.harness.backends import (Backend, CheckOutcome, ProgressFn,
                                     RunRecord, SerialBackend,
-                                    fallback_run_iter, owned_backend)
+                                    fallback_run_iter, make_backend,
+                                    owned_backend)
 from repro.oracle import oracle_name_for
 from repro.script.ast import Script, Trace
 
@@ -68,9 +69,21 @@ class Session:
         An explicit script suite, e.g. to share one generated suite
         across the many sessions of a survey.
     backend:
-        A :class:`repro.harness.backends.Backend`; defaults to a private
-        :class:`SerialBackend`.  A backend passed in explicitly is
-        *shared* — the session will not close it.
+        A :class:`repro.harness.backends.Backend` instance, or a
+        family name (``"serial"`` / ``"process"`` / ``"sharded"``).
+        A *named* backend is built via
+        :func:`~repro.harness.backends.make_backend` (``processes`` /
+        ``shards`` / ``chunksize`` configure it), **owned** by the
+        session, and deterministically released by :meth:`close` —
+        shard worker processes and shared-memory arenas included, so a
+        ``with Session(...)`` block cannot leak segments that warn at
+        interpreter exit.  A backend *instance* passed in explicitly is
+        shared — the session will not close it (use the backend's own
+        context manager).  Defaults to a private, owned
+        :class:`SerialBackend`.
+    processes / shards / chunksize:
+        Sizing for a named (or defaulted) backend; rejected alongside
+        a backend instance, whose construction already decided them.
     collect_coverage:
         Record which specification clauses the checking phase covers
         (needed for :meth:`RunArtifact.coverage_report`).
@@ -82,7 +95,10 @@ class Session:
                  plan: Optional[TestPlan] = None,
                  scale: int = 1, limit: int = 0,
                  suite: Optional[Sequence[Script]] = None,
-                 backend: Optional[Backend] = None,
+                 backend: Optional[Union[Backend, str]] = None,
+                 processes: Optional[int] = None,
+                 shards: Optional[int] = None,
+                 chunksize: Optional[int] = None,
                  collect_coverage: bool = False) -> None:
         if plan is not None and suite is not None:
             raise ValueError("pass either plan or suite, not both")
@@ -101,8 +117,21 @@ class Session:
         self._oracle_name = oracle_name_for(platforms)
         self.scale = scale
         self.limit = limit
-        self.backend = backend if backend is not None else SerialBackend()
-        self._owns_backend = backend is None
+        if backend is None or isinstance(backend, str):
+            self.backend = make_backend(processes or 1,
+                                        chunksize=chunksize,
+                                        backend=backend,
+                                        shards=shards)
+            self._owns_backend = True
+        else:
+            if processes or shards or chunksize:
+                raise ValueError(
+                    "processes/shards/chunksize size a *named* "
+                    "backend; a backend instance was already built — "
+                    "pass one or the other")
+            self.backend = backend
+            self._owns_backend = False
+        self._closed = False
         self.collect_coverage = collect_coverage
         self._suite: Optional[Tuple[Script, ...]] = (
             tuple(suite) if suite is not None else None)
@@ -317,8 +346,15 @@ class Session:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the backend, if this session owns it."""
-        if self._owns_backend:
+        """Release the backend, if this session owns it (idempotent).
+
+        For an owned sharded backend this is the deterministic
+        teardown: shard worker processes are joined and the published
+        shared-memory arena is unlinked *now*, not whenever the
+        interpreter's finalizers get around to it.
+        """
+        if self._owns_backend and not self._closed:
+            self._closed = True
             self.backend.close()
 
     def __enter__(self) -> "Session":

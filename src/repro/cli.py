@@ -17,6 +17,8 @@ packages the pipeline accordingly::
         --sample 50 --seed 3
     python -m repro run --config linux_ext4 --backend sharded \\
         --shards 4
+    python -m repro serve --backend sharded --shards 4
+    python -m repro check TRACE --server 127.0.0.1:7323
     python -m repro survey
     python -m repro coverage --config linux_ext4
     python -m repro plans
@@ -104,6 +106,23 @@ def _parse_platforms(spec: str) -> List[str]:
 
 
 def _cmd_check(args) -> int:
+    if args.server:
+        # Served checking: the trace travels to a running `repro
+        # serve` as text; the model/platform set is the *server's*
+        # (it owns the warm oracle), so --model/--platforms are
+        # ignored here.  The wire profiles rebuild losslessly.
+        from repro.oracle import ConformanceProfile, Verdict
+        from repro.service.client import ServiceClient
+
+        trace_text = _read(args.trace)
+        with ServiceClient(args.server) as client:
+            reply = client.check(trace_text)
+        verdict = Verdict(
+            trace=parse_trace(trace_text),
+            profiles=tuple(ConformanceProfile.from_dict(row)
+                           for row in reply["profiles"]))
+        print(verdict.render())
+        return 0 if verdict.accepted else 1
     trace = parse_trace(_read(args.trace))
     if args.platforms:
         oracle = get_oracle(
@@ -114,6 +133,41 @@ def _cmd_check(args) -> int:
     verdict = get_oracle(args.model).check(trace)
     print(render_checked_trace(verdict.primary_checked), end="")
     return 0 if verdict.accepted else 1
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.service.server import run_server
+    from repro.service.service import CheckingService
+
+    model = (oracle_name_for(_parse_platforms(args.platforms))
+             if args.platforms else args.model)
+    shards = 0 if args.backend == "serial" else args.shards
+    service = CheckingService(model, shards=shards,
+                              warmup=args.warmup,
+                              miss_watermark=args.watermark)
+    service.start()
+
+    def ready(server) -> None:
+        # Parseable by scripts (the CI smoke job greps this line for
+        # the bound port — --port 0 picks a free one).
+        print(f"repro serve: listening on {server.address()} "
+              f"(model={model}, shards={service.shards})",
+              flush=True)
+
+    try:
+        run_server(service, args.host, args.port, ready=ready)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        stats = service.stats()
+        service.shutdown()
+        if args.stats_json:
+            pathlib.Path(args.stats_json).write_text(
+                json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    print("repro serve: stopped", flush=True)
+    return 0
 
 
 def _cmd_oracles(_args) -> int:
@@ -318,7 +372,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "check them all in a single vectored pass "
                         "(overrides --model; exit 0 iff every "
                         "platform accepts)")
+    p.add_argument("--server", default=None, metavar="HOST:PORT",
+                   help="check through a running 'repro serve' "
+                        "instead of in-process (the server's model "
+                        "decides the platforms)")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("serve", help="run the persistent checking "
+                                     "service (line-JSON over TCP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: pick a free one; the "
+                        "bound address is printed on stdout)")
+    p.add_argument("--model", default="all",
+                   help="oracle name to serve (default 'all': every "
+                        "platform in one vectored pass)")
+    p.add_argument("--platforms", default=None, metavar="LIST",
+                   help="comma-separated platforms, 'all' or 'real' "
+                        "(overrides --model)")
+    p.add_argument("--backend", default="sharded",
+                   choices=["serial", "sharded"],
+                   help="'sharded' checks on a persistent shard pool; "
+                        "'serial' checks in-process on the warm "
+                        "oracle")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard workers (default: CPU count, min 2)")
+    p.add_argument("--warmup", type=int, default=16,
+                   help="traces checked in the parent before each "
+                        "arena epoch is published")
+    p.add_argument("--watermark", type=int, default=256,
+                   help="pool arena misses that trigger an epoch "
+                        "republish (<=0: first epoch only)")
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="write the service's final cumulative stats "
+                        "as JSON on shutdown")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("oracles", help="list registered checking "
                                        "oracles")

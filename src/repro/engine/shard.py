@@ -45,6 +45,7 @@ import array
 import json
 import pickle
 import struct
+import threading
 from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
                     Set, Tuple)
 
@@ -64,6 +65,36 @@ _LEN = struct.Struct("<Q")
 #: A picklable attachment descriptor: ``("shm", name)`` or
 #: ``("bytes", payload)``.
 ArenaHandle = Tuple[str, object]
+
+#: Serialises shared-memory open/attach within a process while
+#: :func:`_untracked_attach` has registration suppressed.
+_SHM_LOCK = threading.Lock()
+
+
+def _untracked_attach(name: str):
+    """Attach to an existing segment *without* registering it with
+    this process's resource tracker.
+
+    ``SharedMemory(name=...)`` registers on attach exactly as on
+    create, but only the creating :class:`MemoArena` ever unlinks.
+    Left registered, every attaching worker's tracker warns about a
+    "leaked" segment at exit (and unlinks a name the owner already
+    released); explicitly *unregistering* is no better, because forked
+    workers may share the parent's tracker, where the unregister
+    clobbers the creator's own registration.  Not registering in the
+    first place is correct in both topologies — the creator's single
+    registration remains the cleanup-of-last-resort.  (Python 3.13's
+    ``track=False`` does exactly this; suppressing the register call
+    is the 3.11-compatible spelling.)
+    """
+    from multiprocessing import resource_tracker
+    with _SHM_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 def _pack_words(values: Iterable[int]) -> bytes:
@@ -102,8 +133,9 @@ class MemoArena:
         shm = None
         if use_shm and shared_memory is not None:
             try:
-                shm = shared_memory.SharedMemory(create=True,
-                                                 size=len(payload))
+                with _SHM_LOCK:
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=len(payload))
                 shm.buf[:len(payload)] = payload
             except OSError:  # no /dev/shm (or exhausted): bytes mode
                 shm = None
@@ -275,7 +307,7 @@ class ArenaReader:
             return cls(memoryview(value))
         if shared_memory is None:  # pragma: no cover - defensive
             raise RuntimeError("shared memory is unavailable")
-        shm = shared_memory.SharedMemory(name=value)
+        shm = _untracked_attach(value)
         return cls(memoryview(shm.buf), shm)
 
     def spec_index(self, name: str) -> int:

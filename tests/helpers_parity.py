@@ -116,10 +116,58 @@ def _make_sharded(platforms: Tuple[str, ...]) -> CheckFn:
     return check
 
 
+def _make_service(platforms: Tuple[str, ...]) -> CheckFn:
+    """The full served path: traces travel as text through the asyncio
+    line-JSON server and come back as ``ConformanceProfile.to_dict``
+    rows — so this engine proves the wire format itself is lossless,
+    on top of the checking parity every engine proves.
+
+    Parent-only mode (``shards=0``): the serialization boundary is what
+    is under test here, the pool engine has its own registry entry.
+    """
+    import threading
+
+    from repro.oracle import ConformanceProfile, oracle_name_for
+    from repro.script.printer import print_trace
+    from repro.service import (CheckingService, ServiceClient,
+                               run_server)
+
+    def check(traces):
+        service = CheckingService(oracle_name_for(platforms), shards=0)
+        bound = threading.Event()
+        address = {}
+
+        def ready(server):
+            address["addr"] = server.address()
+            bound.set()
+
+        thread = threading.Thread(
+            target=run_server, args=(service,), kwargs={"ready": ready},
+            daemon=True)
+        thread.start()
+        try:
+            assert bound.wait(timeout=30), "server never bound"
+            with ServiceClient(address["addr"]) as client:
+                verdicts, _done = client.check_batch(
+                    [print_trace(t) for t in traces])
+                rows = [
+                    {row["platform"]: profile_row(
+                        ConformanceProfile.from_dict(row))
+                     for row in verdict["profiles"]}
+                    for verdict in verdicts]
+                client.shutdown()
+            thread.join(timeout=30)
+            return rows
+        finally:
+            service.shutdown()
+    return check
+
+
 register_engine("uninterned", _make_uninterned)
 register_engine("interned", _make_interned)
 register_engine("vectored", _make_vectored)
 register_engine("sharded", _make_sharded)
+register_engine("service", _make_service)
 
 
 @functools.lru_cache(maxsize=None)

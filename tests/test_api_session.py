@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.api import (ProcessPoolBackend, RunArtifact, SerialBackend,
-                       Session, survey)
+                       Session, ShardedBackend, survey)
 from repro.cli import main
 from repro.fsimpl import config_by_name
 from repro.harness import backends as backends_mod
@@ -214,6 +214,51 @@ class TestBackendParity:
             list(backend.check_iter("linux", traces))
             assert backend._pool is first_pool
         assert backend._pool is None
+
+
+class TestSessionClose:
+    """Deterministic resource release: ``Session.close`` (and the
+    context manager) must join shard workers and unlink shared-memory
+    arenas *now* — the old behaviour left them to interpreter-exit
+    finalizers, which warned about leaked segments."""
+
+    def test_close_releases_owned_sharded_backend(self):
+        # > warmup (16) unique traces so the pool genuinely spawns.
+        suite = [parse_script(
+            '@type script\n# Test c%d\nmkdir "c%d" 0o755\n' % (i, i))
+            for i in range(20)]
+        session = Session("linux_ext4", suite=suite,
+                          backend="sharded", shards=2)
+        artifact = session.run()
+        backend = session.backend
+        pool = backend._pool
+        assert pool.alive
+        procs = list(pool._procs)
+        session.close()
+        assert not pool.alive
+        assert all(not p.is_alive() for p in procs)
+        assert backend._epochs.arena is None  # shm unlinked, not leaked
+        session.close()  # idempotent
+        assert artifact.total == 20
+
+    def test_close_leaves_caller_owned_backend_running(self):
+        with ShardedBackend(2, warmup=1) as backend:
+            with Session("linux_ext4", suite=SMALL_SUITE,
+                         backend=backend) as s:
+                s.run()
+            # Session exit must not tear down a shared backend: the
+            # same warm pool serves the next session.
+            assert backend._pool.alive
+            with Session("linux_ext4", suite=SMALL_SUITE,
+                         backend=backend) as s:
+                assert s.run().total == len(SMALL_SUITE)
+            assert backend._pool.cold_starts == 1
+        assert not backend._pool.alive
+
+    def test_backend_instance_with_sizing_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="backend instance"):
+            Session("linux_ext4", suite=SMALL_SUITE,
+                    backend=SerialBackend(), shards=2)
 
 
 class TestSurveyAndIntegration:

@@ -31,8 +31,15 @@ LAYERS = {
     "repro.oracle": 10,
     "repro.gen": 11,
     "repro.harness": 11,
+    # The persistent pool layer sits beside the harness (the sharded
+    # backend is built on it); the service front door (CheckingService,
+    # asyncio server, client) sits above the api facade.  Order
+    # matters: _layer_of returns the first matching prefix, so the
+    # more specific "repro.service.pool" must precede "repro.service".
+    "repro.service.pool": 11,
     "repro.api": 12,
-    "repro.cli": 13,
+    "repro.service": 13,
+    "repro.cli": 14,
 }
 
 

@@ -127,14 +127,12 @@ class TestShardedBackendEndToEnd:
         blocks forever on the result queue."""
         import os
 
-        from repro.harness import backends as backends_mod
+        from repro.service import pool as pool_mod
 
-        def dying_worker(shard_index, model, collect_coverage, handle,
-                         in_q, out_q):
+        def dying_worker(shard_index, in_q, out_q):
             os._exit(3)
 
-        monkeypatch.setattr(backends_mod, "_shard_worker",
-                            dying_worker)
+        monkeypatch.setattr(pool_mod, "_pool_worker", dying_worker)
         backend = ShardedBackend(2, warmup=0)
         traces = handwritten_traces("linux_ext4")[:4]
         try:

@@ -257,3 +257,118 @@ class TestPrefixCacheLiveIds:
         assert cache.live_state_ids("a") == frozenset({1, 2})
         assert cache.live_state_ids("b") == frozenset({7})
         assert cache.live_state_ids("missing") == frozenset()
+
+
+class TestEpochReattach:
+    """The persistent-worker property (``repro.service.pool``): a
+    long-lived :class:`ShardWorkerState` re-attaches to republished
+    arena epochs by handle instead of being re-forked, and a stale
+    worker — one whose epoch can no longer be attached — must fall
+    back to local derivation without ever changing a verdict."""
+
+    MODEL = "linux"
+
+    @staticmethod
+    def _traces(quirks, seeds, length=12):
+        from repro.testgen.randomized import random_suite
+
+        return [execute_script(quirks, script)
+                for seed in seeds
+                for script in random_suite(3, base_seed=seed,
+                                           length=length)]
+
+    @staticmethod
+    def _publish(traces, *, warm=None):
+        """Warm a packing oracle on ``traces``, cut an arena epoch."""
+        if warm is None:
+            warm = ModelOracle("linux")
+        for trace in traces:
+            warm.check(trace)
+        table, memos = warm.engine_snapshot()
+        return warm, MemoArena.create(table, memos)
+
+    def test_worker_observes_republished_epoch(self):
+        """Adopt epoch 1, check traces *beyond* it (the worker's local
+        table diverges from the parent's), then adopt epoch 2 cut from
+        a grown parent: both adoptions succeed, and every verdict along
+        the way matches an uncached baseline bit-for-bit."""
+        from repro.script.printer import print_trace
+        from repro.service.pool import ShardWorkerState
+
+        quirks = config_by_name("linux_sshfs_tmpfs")
+        first = self._traces(quirks, seeds=(9001,))
+        beyond = self._traces(quirks, seeds=(9002, 9003))
+        baseline = ModelOracle("linux", cache=False)
+        state = ShardWorkerState()
+        warm, arena1 = self._publish(first)
+        try:
+            assert state.adopt_epoch(self.MODEL, arena1.handle())
+            assert state.epochs_adopted == 1
+            for trace in first + beyond:  # beyond => local derivation
+                profiles, _ = state.check(self.MODEL, False,
+                                          print_trace(trace))
+                assert profiles == baseline.check(trace).profiles
+            stats = state.stats()
+            assert stats["arena_hits"] > 0    # epoch 1 rows served
+            assert stats["arena_misses"] > 0  # ...and genuine gaps
+
+            # The worker derived the new states locally in trace
+            # order; the parent warms them in *reverse* order, so the
+            # two intern tables assign conflicting ids past epoch 1.
+            # Seeding the new epoch into the diverged table must
+            # refuse (misalignment) — which is exactly why adoption
+            # rebuilds a fresh oracle instead.
+            warm, arena2 = self._publish(list(reversed(beyond)),
+                                         warm=warm)
+            try:
+                with ArenaReader.attach(arena2.handle()) as probe:
+                    diverged = state._oracles[self.MODEL]
+                    with pytest.raises(ValueError):
+                        probe.seed_table(
+                            diverged.engine_snapshot()[0])
+                assert state.adopt_epoch(self.MODEL, arena2.handle())
+                assert state.epochs_adopted == 2
+                assert state.epoch_attach_failures == 0
+                fresh = self._traces(quirks, seeds=(9004,))
+                for trace in beyond + fresh:
+                    profiles, _ = state.check(self.MODEL, False,
+                                              print_trace(trace))
+                    assert profiles == \
+                        baseline.check(trace).profiles
+            finally:
+                arena2.close()
+                arena2.unlink()
+        finally:
+            state.close()
+            arena1.close()
+            arena1.unlink()
+
+    def test_stale_worker_falls_back_without_wrong_answers(self):
+        """A republished epoch whose segment is already gone: the
+        worker reports the failed attach, keeps its previous oracle,
+        and keeps producing bit-for-bit correct verdicts."""
+        from repro.script.printer import print_trace
+        from repro.service.pool import ShardWorkerState
+
+        quirks = config_by_name("linux_ext4")
+        traces = self._traces(quirks, seeds=(7001,))
+        baseline = ModelOracle("linux", cache=False)
+        state = ShardWorkerState()
+        _, arena1 = self._publish(traces)
+        try:
+            assert state.adopt_epoch(self.MODEL, arena1.handle())
+            _, gone = self._publish(traces)
+            handle = gone.handle()
+            gone.close()
+            gone.unlink()  # the segment vanishes before the attach
+            assert not state.adopt_epoch(self.MODEL, handle)
+            assert state.epoch_attach_failures == 1
+            assert state.epochs_adopted == 1  # epoch 1 still serving
+            for trace in traces + self._traces(quirks, seeds=(7002,)):
+                profiles, _ = state.check(self.MODEL, False,
+                                          print_trace(trace))
+                assert profiles == baseline.check(trace).profiles
+        finally:
+            state.close()
+            arena1.close()
+            arena1.unlink()

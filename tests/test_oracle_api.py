@@ -310,26 +310,44 @@ class TestSessionCheckOn:
         assert reloaded.checked == artifact.checked
 
 
-class TestRunArtifactV4:
+class TestRunArtifactV5:
     def test_engine_stats_round_trip(self):
-        """RunArtifact v4: shard counts and memo hit/miss stats from
-        the sharded backend survive an exact JSON round trip."""
+        """RunArtifact v5: shard counts, memo hit/miss stats and the
+        persistent-pool amortization counters from the sharded backend
+        survive an exact JSON round trip."""
         from repro.api import ShardedBackend
 
-        with Session("linux_sshfs_tmpfs", model="posix",
-                     check_on=list(SPECS), suite=SMALL_SUITE * 3,
-                     backend=ShardedBackend(2, warmup=2)) as s:
+        with ShardedBackend(2, warmup=2) as backend, \
+                Session("linux_sshfs_tmpfs", model="posix",
+                        check_on=list(SPECS), suite=SMALL_SUITE * 3,
+                        backend=backend) as s:
             artifact = s.run()
         stats = dict(artifact.engine_stats)
         assert stats["shards"] == 2
         assert stats["warmup_traces"] == 2
         assert stats["arena_rows"] > 0
         assert "arena_hits" in stats and "arena_misses" in stats
+        # v5: the amortization counters of the persistent pool.
+        assert stats["pool_cold_starts"] == 1
+        assert stats["epochs_published"] == 1
+        assert stats["epochs_adopted"] == 2  # one adoption per worker
         assert artifact.failing  # deviations must survive the trip too
         assert RunArtifact.from_json(artifact.to_json()) == artifact
         payload = __import__("json").loads(artifact.to_json())
-        assert payload["format"] == 4
+        assert payload["format"] == 5
         assert payload["engine_stats"]["shards"] == 2
+
+    def test_fixture_v4_loads(self):
+        artifact = RunArtifact.load(FIXTURES / "artifact_v4.json")
+        assert artifact.total == 6
+        assert artifact.check_on == tuple(SPECS)
+        stats = dict(artifact.engine_stats)
+        assert stats["shards"] == 2 and stats["arena_rows"] > 0
+        assert "pool_cold_starts" not in stats  # pre-v5 writer
+        # v4 round-trips through the v5 writer unchanged.
+        reloaded = RunArtifact.from_json(artifact.to_json())
+        assert reloaded.engine_stats == artifact.engine_stats
+        assert reloaded.checked == artifact.checked
 
     def test_backends_without_run_stats_record_nothing(self):
         with Session("linux_ext4", suite=SMALL_SUITE) as s:
