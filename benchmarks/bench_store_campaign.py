@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Campaign store acceptance benchmark: constant-memory streaming.
+
+The store's contract is that campaign size does not show up as process
+memory: appending and folding views are streaming operations whose
+peak RSS is dominated by the interpreter plus one segment buffer, not
+by the number of traces.  This bench measures that two ways:
+
+* **RSS scaling** — a subprocess appends a synthetic campaign (one
+  content-addressed ``TraceRecord`` per trace, four per-platform
+  profiles each) and folds all four incremental views; peak RSS
+  (``ru_maxrss``) of the 50 000-trace run must stay within 2x the
+  1 000-trace run (**asserted**).
+* **stream vs materialise** — over the written 50k store, the
+  tracemalloc peak of folding the survey view record-by-record is
+  compared against materialising every row in memory at once (what
+  holding the campaign as one ``RunArtifact``-style object costs); the
+  materialised form must be >= 10x larger (**asserted**).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store_campaign.py \
+        [--smoke] [--json OUT.json]
+
+``--smoke`` shrinks the campaign sizes (CI-friendly: 200 vs 5 000);
+the default is the paper-scale 1 000 vs 50 000.  Exit code 1 when
+either memory assertion fails.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.oracle import ConformanceProfile  # noqa: E402
+from repro.store import CampaignStore, TraceRecord  # noqa: E402
+from repro.store.views import VIEWS  # noqa: E402
+
+PLATFORMS = ("posix", "linux", "osx", "freebsd")
+RSS_RATIO_LIMIT = 2.0
+MATERIALISE_RATIO_FLOOR = 10.0
+#: Small segments so the stream-fold's working set is one modest
+#: buffer even for the 50k campaign.
+SEGMENT_BYTES = 128 << 10
+
+
+def synthetic_record(i: int) -> TraceRecord:
+    """One campaign row: distinct trace text, four per-platform
+    profiles with varying engine statistics."""
+    profiles = tuple(
+        ConformanceProfile(
+            platform=platform,
+            deviations=(),
+            max_state_set=1 + (i % 7),
+            labels_checked=3 + (i % 11),
+            pruned=False)
+        for platform in PLATFORMS)
+    return TraceRecord(
+        partition="bench:vectored",
+        name=f"synthetic_{i:06d}",
+        target_function="open",
+        trace_text=(f"# synthetic campaign trace {i}\n"
+                    f"call open [O_CREAT;O_RDWR] ret {i % 97}\n"
+                    f"call close ret 0\n"),
+        profiles=profiles,
+        covered=(f"open/{i % 13}",) if i % 3 else ())
+
+
+def run_child(traces: int, directory: pathlib.Path) -> dict:
+    """Append ``traces`` rows + fold all views in a fresh process and
+    report its peak RSS."""
+    proc = subprocess.run(
+        [sys.executable, __file__, "--child", str(traces),
+         "--dir", str(directory)],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(f"campaign child failed:\n{proc.stdout}"
+                           f"\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def child_main(traces: int, directory: pathlib.Path) -> int:
+    import resource
+
+    t0 = time.perf_counter()
+    with CampaignStore(directory, segment_bytes=SEGMENT_BYTES) as store:
+        for i in range(traces):
+            store.append(synthetic_record(i))
+        append_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for name in VIEWS:
+            store.refresh_view(name)
+        fold_s = time.perf_counter() - t0
+        stats = store.stats()
+    print(json.dumps({
+        "traces": traces,
+        "rows": stats["rows"],
+        "segments": stats["segments"],
+        "store_bytes": stats["bytes"],
+        "append_seconds": round(append_s, 3),
+        "fold_seconds": round(fold_s, 3),
+        # Linux reports ru_maxrss in KiB.
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+    }))
+    return 0
+
+
+def measure_stream_vs_materialise(directory: pathlib.Path) -> dict:
+    """tracemalloc peaks: fold-as-a-stream vs hold-every-row."""
+    import tracemalloc
+
+    store = CampaignStore(directory, create=False)
+    try:
+        view = VIEWS["survey"]
+        tracemalloc.start()
+        state = view.initial()
+        folded = 0
+        for _cursor, record in store.records():
+            if isinstance(record, TraceRecord):
+                view.fold(state, record)
+                folded += 1
+        _size, stream_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        materialised = [record for _cursor, record in store.records()]
+        _size, full_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        count = len(materialised)
+        del materialised
+    finally:
+        store.close()
+    return {"folded": folded, "materialised_rows": count,
+            "stream_peak_bytes": stream_peak,
+            "materialise_peak_bytes": full_peak}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="200 vs 5 000 traces instead of "
+                             "1 000 vs 50 000")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the result as JSON")
+    parser.add_argument("--child", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--dir", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child is not None:
+        return child_main(args.child, pathlib.Path(args.dir))
+
+    small_n, large_n = (200, 5_000) if args.smoke else (1_000, 50_000)
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        root = pathlib.Path(tmp)
+        small = run_child(small_n, root / "small")
+        large = run_child(large_n, root / "large")
+        memory = measure_stream_vs_materialise(root / "large")
+
+    rss_ratio = large["peak_rss_kb"] / max(1, small["peak_rss_kb"])
+    mat_ratio = (memory["materialise_peak_bytes"]
+                 / max(1, memory["stream_peak_bytes"]))
+    result = {
+        "mode": "smoke" if args.smoke else "full",
+        "small": small,
+        "large": large,
+        "rss_ratio": round(rss_ratio, 3),
+        "rss_ratio_limit": RSS_RATIO_LIMIT,
+        "stream_peak_bytes": memory["stream_peak_bytes"],
+        "materialise_peak_bytes": memory["materialise_peak_bytes"],
+        "materialise_ratio": round(mat_ratio, 1),
+        "materialise_ratio_floor": MATERIALISE_RATIO_FLOOR,
+    }
+
+    print(f"campaign sizes: {small_n} vs {large_n} traces "
+          f"({result['mode']})")
+    print(f"{small_n:>7} traces: {small['peak_rss_kb']:>8} KiB peak "
+          f"RSS, {small['store_bytes']:>10} store bytes, "
+          f"append {small['append_seconds']:.2f}s, "
+          f"fold {small['fold_seconds']:.2f}s")
+    print(f"{large_n:>7} traces: {large['peak_rss_kb']:>8} KiB peak "
+          f"RSS, {large['store_bytes']:>10} store bytes, "
+          f"append {large['append_seconds']:.2f}s, "
+          f"fold {large['fold_seconds']:.2f}s")
+    print(f"peak RSS ratio      : {rss_ratio:6.2f}  "
+          f"(limit <= {RSS_RATIO_LIMIT})")
+    print(f"stream fold peak    : "
+          f"{memory['stream_peak_bytes']:>12,} bytes over "
+          f"{memory['folded']} rows")
+    print(f"materialised peak   : "
+          f"{memory['materialise_peak_bytes']:>12,} bytes over "
+          f"{memory['materialised_rows']} rows")
+    print(f"materialise ratio   : {mat_ratio:6.1f}x  "
+          f"(floor >= {MATERIALISE_RATIO_FLOOR}x)")
+
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True)
+                       + "\n")
+        print(f"result written to {out}")
+
+    failed = False
+    if rss_ratio > RSS_RATIO_LIMIT:
+        print(f"FAIL: a {large_n}-trace campaign costs "
+              f"{rss_ratio:.2f}x the {small_n}-trace RSS "
+              f"(streaming is supposed to make size free)")
+        failed = True
+    if mat_ratio < MATERIALISE_RATIO_FLOOR:
+        print(f"FAIL: materialising the campaign is only "
+              f"{mat_ratio:.1f}x the streaming fold "
+              f"(expected >= {MATERIALISE_RATIO_FLOOR}x)")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,11 @@ al., SOSP 2015) in Python:
   pool whose workers outlive individual calls
   (:class:`~repro.service.ShardPool`), the long-lived
   :class:`CheckingService` session, and the ``repro serve`` asyncio
-  line-JSON front door with its blocking :class:`ServiceClient`.
+  line-JSON front door with its blocking :class:`ServiceClient`;
+* :mod:`repro.store` -- the columnar campaign store: append-only,
+  content-addressed trace/verdict storage with incremental folded
+  views (merge / survey / portability / coverage), the durable
+  substrate for campaigns bigger than one in-memory artifact.
 
 Quick start — select a plan, stream it through a :class:`Session` (one
 pipeline pass; every report renders from the same
@@ -104,6 +108,7 @@ from repro.api import (Backend, ProcessPoolBackend, RunArtifact,
                        SerialBackend, Session, ShardedBackend,
                        survey)
 from repro.service import CheckingService, ServiceClient
+from repro.store import CampaignStore, StoreCorruption, TraceRecord
 
 __version__ = "0.5.0"
 
@@ -124,5 +129,6 @@ __all__ = [
     "Backend", "ProcessPoolBackend", "RunArtifact", "SerialBackend",
     "Session", "ShardedBackend", "survey",
     "CheckingService", "ServiceClient",
+    "CampaignStore", "StoreCorruption", "TraceRecord",
     "__version__",
 ]

@@ -26,7 +26,10 @@ persistent :class:`ProcessPoolBackend`), and results can be streamed via
 deprecated shims over this machinery.
 """
 
-from repro.api.artifact import FORMAT_VERSION, RunArtifact
+from repro.api.artifact import (FORMAT_VERSION, ArtifactRow,
+                                RunArtifact, iter_results, read_header)
+from repro.api.campaign import (artifact_partition, export_artifact,
+                                import_artifact, import_artifact_file)
 from repro.api.session import Session, survey
 from repro.harness.backends import (Backend, CheckOutcome,
                                     ProcessPoolBackend, RunRecord,
@@ -34,7 +37,9 @@ from repro.harness.backends import (Backend, CheckOutcome,
                                     make_backend)
 
 __all__ = [
-    "Backend", "CheckOutcome", "FORMAT_VERSION", "ProcessPoolBackend",
-    "RunArtifact", "RunRecord", "SerialBackend", "ShardedBackend",
-    "Session", "make_backend", "survey",
+    "ArtifactRow", "Backend", "CheckOutcome", "FORMAT_VERSION",
+    "ProcessPoolBackend", "RunArtifact", "RunRecord", "SerialBackend",
+    "ShardedBackend", "Session", "artifact_partition",
+    "export_artifact", "import_artifact", "import_artifact_file",
+    "iter_results", "make_backend", "read_header", "survey",
 ]

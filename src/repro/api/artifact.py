@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Tuple
+from typing import IO, Iterator, Tuple
 
 from repro.checker.checker import CheckedTrace
 from repro.core.coverage import REGISTRY, CoverageReport
@@ -238,19 +238,11 @@ class RunArtifact:
         targets = []
         profile_rows = []
         for row in payload["traces"]:
-            deviations = tuple(deviation_from_dict(d)
-                               for d in row["deviations"])
-            checked.append(CheckedTrace(
-                trace=parse_trace(row["trace"]),
-                deviations=deviations,
-                max_state_set=row["max_state_set"],
-                labels_checked=row["labels_checked"],
-                pruned=row["pruned"]))
-            targets.append(row["target_function"])
-            if "profiles" in row:
-                profile_rows.append(tuple(
-                    ConformanceProfile.from_dict(p)
-                    for p in row["profiles"]))
+            decoded = ArtifactRow.from_dict(row)
+            checked.append(decoded.checked)
+            targets.append(decoded.target_function)
+            if decoded.profiles:
+                profile_rows.append(decoded.profiles)
         return cls(config=payload["config"], model=payload["model"],
                    backend=payload["backend"],
                    checked=tuple(checked),
@@ -275,3 +267,155 @@ class RunArtifact:
     @classmethod
     def load(cls, path: str | pathlib.Path) -> "RunArtifact":
         return cls.from_json(pathlib.Path(path).read_text())
+
+
+# -- streaming reads ----------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactRow:
+    """One decoded ``traces`` row of an artifact JSON: the checked
+    trace, its target function, and (for multi-platform runs) its
+    per-platform profiles — what :func:`iter_results` yields one at a
+    time."""
+
+    target_function: str
+    checked: CheckedTrace
+    profiles: Tuple[ConformanceProfile, ...] = ()
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "ArtifactRow":
+        return cls(
+            target_function=row["target_function"],
+            checked=CheckedTrace(
+                trace=parse_trace(row["trace"]),
+                deviations=tuple(deviation_from_dict(d)
+                                 for d in row["deviations"]),
+                max_state_set=row["max_state_set"],
+                labels_checked=row["labels_checked"],
+                pruned=row["pruned"]),
+            profiles=tuple(ConformanceProfile.from_dict(p)
+                           for p in row.get("profiles", ())))
+
+
+#: Read granularity of the streaming artifact reader.
+_STREAM_CHUNK = 1 << 16
+
+
+class _JsonStream:
+    """Incremental JSON scanning over a file handle: a rolling text
+    buffer plus ``raw_decode``, so one value is materialised at a
+    time no matter how large the document is."""
+
+    def __init__(self, handle: IO[str]) -> None:
+        self._handle = handle
+        self._buffer = ""
+        self._decoder = json.JSONDecoder()
+
+    def _fill(self) -> bool:
+        chunk = self._handle.read(_STREAM_CHUNK)
+        if not chunk:
+            return False
+        self._buffer += chunk
+        return True
+
+    def skip_ws(self) -> None:
+        while True:
+            self._buffer = self._buffer.lstrip()
+            if self._buffer or not self._fill():
+                return
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self._buffer[:1]
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            found = self._buffer[:1] or "end of file"
+            raise ValueError(
+                f"malformed artifact JSON: expected {char!r}, "
+                f"found {found!r}")
+        self._buffer = self._buffer[1:]
+
+    def value(self):
+        """Decode exactly one JSON value from the stream."""
+        self.skip_ws()
+        while True:
+            try:
+                value, end = self._decoder.raw_decode(self._buffer)
+            except ValueError:
+                if not self._fill():
+                    raise
+                continue
+            if end == len(self._buffer) and self._fill():
+                # A number (or bare literal) that stops exactly at the
+                # buffer edge may continue in the next chunk — refill
+                # and decode again before trusting it.
+                continue
+            self._buffer = self._buffer[end:]
+            return value
+
+
+def _stream_artifact(path: str | pathlib.Path):
+    """Parse an artifact top-level object incrementally: yields
+    ``("field", key, value)`` for scalar fields and ``("row", None,
+    row_dict)`` per ``traces`` element, in document order."""
+    with open(path, "r") as handle:
+        stream = _JsonStream(handle)
+        stream.expect("{")
+        if stream.peek() == "}":
+            return
+        while True:
+            key = stream.value()
+            stream.expect(":")
+            if key == "traces":
+                stream.expect("[")
+                if stream.peek() != "]":
+                    while True:
+                        yield ("row", None, stream.value())
+                        if stream.peek() != ",":
+                            break
+                        stream.expect(",")
+                stream.expect("]")
+            else:
+                yield ("field", key, stream.value())
+            if stream.peek() != ",":
+                break
+            stream.expect(",")
+        stream.expect("}")
+
+
+def read_header(path: str | pathlib.Path) -> dict:
+    """The artifact's run-level fields (everything but ``traces``)
+    without loading the trace rows.
+
+    Artifacts are written with sorted keys, so ``traces`` is the last
+    top-level field and this reads only the small prefix of the file.
+    """
+    header = {}
+    for kind, key, value in _stream_artifact(path):
+        if kind == "row":
+            break
+        header[key] = value
+    version = header.get("format")
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(f"unsupported artifact format: {version!r}")
+    return header
+
+
+def iter_results(path: str | pathlib.Path) -> Iterator[ArtifactRow]:
+    """Stream an artifact's checked results one row at a time.
+
+    Unlike :meth:`RunArtifact.load`, which holds the whole file *and*
+    the decoded artifact simultaneously, this parses incrementally —
+    peak memory is one row plus a small read buffer, whatever the
+    artifact's size.  The format version is validated as soon as the
+    ``format`` field is seen (before the first row for sorted-key
+    writers, including :meth:`RunArtifact.save`).
+    """
+    for kind, key, value in _stream_artifact(path):
+        if kind == "field":
+            if key == "format" and value not in _READABLE_VERSIONS:
+                raise ValueError(
+                    f"unsupported artifact format: {value!r}")
+        else:
+            yield ArtifactRow.from_dict(value)

@@ -19,6 +19,7 @@ backends plug into.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import time
@@ -33,8 +34,10 @@ from repro.harness.backends import (Backend, CheckOutcome, ProgressFn,
                                     RunRecord, SerialBackend,
                                     fallback_run_iter, make_backend,
                                     owned_backend)
-from repro.oracle import oracle_name_for
+from repro.oracle import ConformanceProfile, oracle_name_for
 from repro.script.ast import Script, Trace
+from repro.script.printer import print_trace
+from repro.store import CampaignStore, TraceRecord
 
 
 class Session:
@@ -87,6 +90,14 @@ class Session:
     collect_coverage:
         Record which specification clauses the checking phase covers
         (needed for :meth:`RunArtifact.coverage_report`).
+    store:
+        A :class:`repro.store.CampaignStore` (or a path to one) that
+        every verdict is appended to *as it arrives*, under the
+        partition ``"<config>:<oracle-name>"``.  Appends are
+        content-addressed, so re-running the same suite into the same
+        store adds zero rows.  A store given as a path is owned by the
+        session and closed by :meth:`close`; a store instance is
+        shared and left open.
     """
 
     def __init__(self, config: str | Quirks,
@@ -99,7 +110,9 @@ class Session:
                  processes: Optional[int] = None,
                  shards: Optional[int] = None,
                  chunksize: Optional[int] = None,
-                 collect_coverage: bool = False) -> None:
+                 collect_coverage: bool = False,
+                 store: Optional[Union[CampaignStore, str,
+                                       pathlib.Path]] = None) -> None:
         if plan is not None and suite is not None:
             raise ValueError("pass either plan or suite, not both")
         self.quirks = (config if isinstance(config, Quirks)
@@ -133,6 +146,12 @@ class Session:
             self._owns_backend = False
         self._closed = False
         self.collect_coverage = collect_coverage
+        if store is None or isinstance(store, CampaignStore):
+            self._store = store
+            self._owns_store = False
+        else:
+            self._store = CampaignStore(store)
+            self._owns_store = True
         self._suite: Optional[Tuple[Script, ...]] = (
             tuple(suite) if suite is not None else None)
         if plan is not None:
@@ -168,6 +187,43 @@ class Session:
                 self.backend.execute_iter(self.quirks, self.suite))
             self._exec_seconds = time.perf_counter() - t0
         return self._traces
+
+    # -- the campaign store ---------------------------------------------------
+
+    @property
+    def store(self) -> Optional[CampaignStore]:
+        """The campaign store verdicts stream into (None when the
+        session was built without one)."""
+        return self._store
+
+    @property
+    def store_partition(self) -> str:
+        """The config-partition this session's rows are addressed
+        under: configuration name + oracle name."""
+        return f"{self.quirks.name}:{self._oracle_name}"
+
+    def _store_append(self, target_function: str,
+                      outcome: CheckOutcome,
+                      exec_seconds: float = 0.0,
+                      check_seconds: float = 0.0) -> None:
+        if self._store is None:
+            return
+        # A single-model backend yields outcomes whose profile tuple
+        # may be empty (pre-profile custom backends): synthesise the
+        # primary profile so the stored row always carries per-platform
+        # verdicts.
+        profiles = outcome.profiles or (
+            ConformanceProfile.from_checked(self.model,
+                                            outcome.checked),)
+        self._store.append(TraceRecord(
+            partition=self.store_partition,
+            name=outcome.checked.trace.name,
+            target_function=target_function,
+            trace_text=print_trace(outcome.checked.trace),
+            profiles=tuple(profiles),
+            covered=tuple(sorted(outcome.covered)),
+            exec_seconds=exec_seconds,
+            check_seconds=check_seconds))
 
     # -- running --------------------------------------------------------------
 
@@ -243,6 +299,9 @@ class Session:
             record = pending
             pending = next(iterator, None)
             records.append(record)
+            self._store_append(record.target_function, record.outcome,
+                               exec_seconds=record.exec_seconds,
+                               check_seconds=record.check_seconds)
             if progress is not None:
                 progress(len(records), total_hint,
                          record.outcome.checked)
@@ -264,6 +323,8 @@ class Session:
                 self._oracle_name, traces,
                 collect_coverage=self.collect_coverage):
             outcomes.append(outcome)
+            self._store_append(
+                self.suite[len(outcomes) - 1].target_function, outcome)
             if progress is not None:
                 progress(len(outcomes), len(traces), outcome.checked)
             if len(outcomes) == len(traces):
@@ -330,6 +391,10 @@ class Session:
             profiles=(tuple(r.outcome.profiles for r in records)
                       if self.check_on else ()),
             engine_stats=engine_stats)
+        if self._store is not None:
+            # The pass is complete: make the appended rows' index
+            # durable now rather than at whenever-close-happens.
+            self._store.flush()
 
     def run(self, progress: Optional[ProgressFn] = None) -> RunArtifact:
         """Run the pipeline (once) and return its artifact.
@@ -346,16 +411,20 @@ class Session:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the backend, if this session owns it (idempotent).
+        """Release the backend and campaign store this session owns
+        (idempotent); shared instances are left untouched.
 
         For an owned sharded backend this is the deterministic
         teardown: shard worker processes are joined and the published
         shared-memory arena is unlinked *now*, not whenever the
         interpreter's finalizers get around to it.
         """
-        if self._owns_backend and not self._closed:
+        if not self._closed:
             self._closed = True
-            self.backend.close()
+            if self._owns_backend:
+                self.backend.close()
+            if self._owns_store and self._store is not None:
+                self._store.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -18,7 +18,15 @@ packages the pipeline accordingly::
     python -m repro run --config linux_ext4 --backend sharded \\
         --shards 4
     python -m repro serve --backend sharded --shards 4
+    python -m repro serve --store campaign/ --stats-json stats.json
     python -m repro check TRACE --server 127.0.0.1:7323
+    python -m repro check --artifact run.json       # streaming summary
+    python -m repro run --config linux_ext4 --store campaign/
+    python -m repro campaign init campaign/
+    python -m repro campaign append campaign/ run.json
+    python -m repro campaign survey campaign/ --json survey.json
+    python -m repro campaign report campaign/ --html dash.html
+    python -m repro campaign gc campaign/
     python -m repro survey
     python -m repro coverage --config linux_ext4
     python -m repro plans
@@ -106,6 +114,33 @@ def _parse_platforms(spec: str) -> List[str]:
 
 
 def _cmd_check(args) -> int:
+    if args.artifact:
+        # Artifact mode: summarise a saved RunArtifact JSON without
+        # loading it — rows stream through iter_results, so a huge v5
+        # artifact costs one row of memory, not file + artifact.
+        from repro.api import iter_results, read_header
+
+        header = read_header(args.artifact)
+        total = accepted = 0
+        counts: dict = {p: 0 for p in header.get("check_on", ())}
+        for row in iter_results(args.artifact):
+            total += 1
+            if row.checked.accepted:
+                accepted += 1
+            for profile in row.profiles:
+                if profile.accepted:
+                    counts[profile.platform] = \
+                        counts.get(profile.platform, 0) + 1
+        print(f"{args.artifact}: {accepted}/{total} traces accepted "
+              f"({header['config']} vs {header['model']}, "
+              f"format v{header['format']})")
+        for platform, count in counts.items():
+            print(f"  {platform:<8} {count}/{total} accepted")
+        return 0 if accepted == total else 1
+    if args.trace is None:
+        print("repro check: a TRACE file (or --artifact) is required",
+              file=sys.stderr)
+        return 2
     if args.server:
         # Served checking: the trace travels to a running `repro
         # serve` as text; the model/platform set is the *server's*
@@ -137,6 +172,8 @@ def _cmd_check(args) -> int:
 
 def _cmd_serve(args) -> int:
     import json
+    import signal
+    import threading
 
     from repro.service.server import run_server
     from repro.service.service import CheckingService
@@ -146,7 +183,8 @@ def _cmd_serve(args) -> int:
     shards = 0 if args.backend == "serial" else args.shards
     service = CheckingService(model, shards=shards,
                               warmup=args.warmup,
-                              miss_watermark=args.watermark)
+                              miss_watermark=args.watermark,
+                              store=args.store)
     service.start()
 
     def ready(server) -> None:
@@ -156,11 +194,47 @@ def _cmd_serve(args) -> int:
               f"(model={model}, shards={service.shards})",
               flush=True)
 
+    def write_stats() -> None:
+        if args.stats_json:
+            pathlib.Path(args.stats_json).write_text(
+                json.dumps(service.stats(), indent=2, sort_keys=True)
+                + "\n")
+
+    stop_flush = threading.Event()
+
+    def flush_loop() -> None:
+        # Periodic durability: a SIGKILLed server still leaves its
+        # last stats snapshot and a current store index behind.
+        while not stop_flush.wait(max(1.0, args.stats_interval)):
+            try:
+                write_stats()
+                if service.store is not None:
+                    service.store.flush()
+            except Exception:  # pragma: no cover - best effort
+                pass
+
+    flusher = None
+    if args.stats_json or service.store is not None:
+        flusher = threading.Thread(target=flush_loop, daemon=True,
+                                   name="repro-serve-flush")
+        flusher.start()
+
+    def on_sigterm(_signum, _frame):  # pragma: no cover - signal path
+        # Raise out of the event loop so the finally block below runs:
+        # SIGTERM leaves the same stats file and closed store a clean
+        # shutdown would.
+        raise SystemExit(143)
+
+    previous = signal.signal(signal.SIGTERM, on_sigterm)
     try:
         run_server(service, args.host, args.port, ready=ready)
-    except KeyboardInterrupt:  # pragma: no cover - interactive
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        stop_flush.set()
+        if flusher is not None:
+            flusher.join(timeout=5.0)
         stats = service.stats()
         service.shutdown()
         if args.stats_json:
@@ -220,12 +294,19 @@ def _cmd_run(args) -> int:
     with make_backend(args.processes, chunksize=args.chunksize,
                       backend=args.backend,
                       shards=args.shards) as backend:
-        session = Session(args.config, model=args.model,
-                          check_on=_parse_platforms(args.check_on)
-                          if args.check_on else None,
-                          plan=_plan_from_args(args), backend=backend)
-        artifact = session.run(
-            progress=_progress_printer() if args.progress else None)
+        with Session(args.config, model=args.model,
+                     check_on=_parse_platforms(args.check_on)
+                     if args.check_on else None,
+                     plan=_plan_from_args(args), backend=backend,
+                     store=args.store) as session:
+            artifact = session.run(
+                progress=_progress_printer() if args.progress
+                else None)
+            if args.store:
+                stats = session.store.stats()
+                print(f"campaign store {args.store}: "
+                      f"{stats['rows']} rows "
+                      f"({stats['dedup_hits']} deduped)")
     # Every output below renders from this one artifact: the suite was
     # generated, executed and checked exactly once (as one stream).
     print(artifact.render_summary())
@@ -310,6 +391,71 @@ def _cmd_configs(_args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    """The campaign-store verbs: everything renders from the store's
+    incremental folded views — no artifact is ever loaded whole."""
+    from repro.store import (CampaignStore, render_dashboard,
+                             render_survey)
+
+    if args.action == "init":
+        CampaignStore(args.dir).close()
+        print(f"initialised campaign store at {args.dir}")
+        return 0
+    with CampaignStore(args.dir, create=False) as store:
+        if args.action == "append":
+            from repro.api import import_artifact_file
+            for path in args.artifacts:
+                result = import_artifact_file(store, path)
+                print(f"{path}: {result['appended']} rows appended, "
+                      f"{result['deduped']} deduped "
+                      f"(partition {result['partition']})")
+            return 0
+        if args.action == "merge":
+            from repro.harness import render_merge
+            records = store.view("merge")
+            if not records:
+                print("no deviations recorded")
+                return 0
+            print(render_merge(records))
+            return 0
+        if args.action == "survey":
+            survey_state = store.refresh_view("survey")
+            print(render_survey(survey_state))
+            if args.json:
+                pathlib.Path(args.json).write_text(
+                    store.view_json("survey"))
+                print(f"survey JSON written to {args.json}")
+            return 0
+        if args.action == "report":
+            page = render_dashboard(
+                args.title or f"campaign: {args.dir}",
+                survey=store.refresh_view("survey"),
+                merge=store.view("merge"),
+                portability=store.refresh_view("portability"),
+                coverage=store.refresh_view("coverage"),
+                stats=store.stats())
+            pathlib.Path(args.html).write_text(page)
+            print(f"campaign dashboard written to {args.html}")
+            return 0
+        if args.action == "export":
+            from repro.api import export_artifact
+            artifact = export_artifact(store, args.partition)
+            artifact.save(args.out)
+            print(f"exported {artifact.total} traces of partition "
+                  f"{args.partition} to {args.out}")
+            return 0
+        if args.action == "gc":
+            result = store.gc()
+            print(f"gc: {result['rows_before']} -> "
+                  f"{result['rows_after']} rows, "
+                  f"{result['bytes_before']} -> "
+                  f"{result['bytes_after']} bytes, "
+                  f"{result['segments_before']} -> "
+                  f"{result['segments_after']} segment(s)")
+            return 0
+    raise AssertionError(f"unhandled campaign action {args.action!r}")
+
+
 def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--processes", type=int, default=1,
                         help="worker processes (>1 selects the "
@@ -365,7 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("check", help="check a trace against one model "
                                      "or several in one pass")
-    p.add_argument("trace")
+    p.add_argument("trace", nargs="?", default=None)
+    p.add_argument("--artifact", default=None, metavar="PATH",
+                   help="summarise a saved RunArtifact JSON instead "
+                        "of checking a trace (streams the rows; the "
+                        "artifact is never loaded whole)")
     p.add_argument("--model", default="posix", choices=sorted(SPECS))
     p.add_argument("--platforms", default=None, metavar="LIST",
                    help="comma-separated platforms, 'all' or 'real': "
@@ -404,8 +554,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pool arena misses that trigger an epoch "
                         "republish (<=0: first epoch only)")
     p.add_argument("--stats-json", default=None, metavar="PATH",
-                   help="write the service's final cumulative stats "
-                        "as JSON on shutdown")
+                   help="write the service's cumulative stats as JSON "
+                        "— periodically, on SIGTERM and on shutdown "
+                        "(a killed server still leaves its last "
+                        "snapshot)")
+    p.add_argument("--stats-interval", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="periodic stats/store flush interval "
+                        "(default 30)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="append every served verdict to a campaign "
+                        "store (created if absent); content-addressed, "
+                        "so retries dedup and the campaign survives "
+                        "restarts")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("oracles", help="list registered checking "
@@ -441,6 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifact", default=None,
                    help="also write the RunArtifact as JSON (for CI "
                         "diffing; records the plan and seeds)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="also append every verdict to a campaign "
+                        "store as it arrives (created if absent; "
+                        "re-runs dedup)")
     p.add_argument("--progress", action="store_true",
                    help="stream per-trace progress to stderr")
     p.set_defaults(func=_cmd_run)
@@ -483,6 +648,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("configs", help="list the survey configurations")
     p.set_defaults(func=_cmd_configs)
+
+    p = sub.add_parser("campaign",
+                       help="manage an append-only campaign store "
+                            "(init/append/merge/survey/report/"
+                            "export/gc)")
+    campaign = p.add_subparsers(dest="action", required=True)
+    c = campaign.add_parser("init", help="create an empty store")
+    c.add_argument("dir")
+    c = campaign.add_parser("append",
+                            help="import RunArtifact JSON files "
+                                 "(streaming; re-imports dedup)")
+    c.add_argument("dir")
+    c.add_argument("artifacts", nargs="+", metavar="ARTIFACT")
+    c = campaign.add_parser("merge",
+                            help="merged cross-platform deviations "
+                                 "from the folded merge view")
+    c.add_argument("dir")
+    c = campaign.add_parser("survey",
+                            help="per-partition conformance counts "
+                                 "from the folded survey view")
+    c.add_argument("dir")
+    c.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the survey view state as "
+                        "canonical JSON (byte-stable across re-runs)")
+    c = campaign.add_parser("report",
+                            help="render the HTML campaign dashboard "
+                                 "from the folded views")
+    c.add_argument("dir")
+    c.add_argument("--html", required=True, metavar="PATH")
+    c.add_argument("--title", default=None)
+    c = campaign.add_parser("export",
+                            help="rebuild one partition as a "
+                                 "RunArtifact JSON")
+    c.add_argument("dir")
+    c.add_argument("partition")
+    c.add_argument("--out", required=True, metavar="PATH")
+    c = campaign.add_parser("gc",
+                            help="compact segments: drop duplicate "
+                                 "rows and superseded meta rows")
+    c.add_argument("dir")
+    for c in campaign.choices.values():
+        c.set_defaults(func=_cmd_campaign)
     return parser
 
 

@@ -47,7 +47,7 @@ import multiprocessing
 import threading
 import time
 from typing import (Callable, Dict, FrozenSet, Iterable, Iterator,
-                    List, Optional, Sequence, Tuple)
+                    List, Optional, Sequence, Tuple, Union)
 
 try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
     from typing import Protocol, runtime_checkable
@@ -66,6 +66,7 @@ from repro.script.ast import Script, Trace
 from repro.service.pool import ArenaEpochs, ShardPool
 from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
+from repro.store import CampaignStore, TraceRecord
 
 #: Progress callback: ``(completed, total, last_checked_trace)``.
 ProgressFn = Callable[[int, int, CheckedTrace], None]
@@ -462,9 +463,21 @@ class ShardedBackend(_BackendBase):
 
     def __init__(self, shards: Optional[int] = None, *,
                  warmup: int = 16, window: int = 16, chunk: int = 16,
-                 reclaim: bool = True,
-                 miss_watermark: int = 512) -> None:
+                 reclaim: bool = True, miss_watermark: int = 512,
+                 store: Optional[Union[CampaignStore, str]] = None
+                 ) -> None:
         self.shards = shards or max(2, multiprocessing.cpu_count())
+        # Campaign store wiring: every verdict this backend produces is
+        # appended as it arrives (content-addressed, so repeats and
+        # retries dedup).  ``run_iter`` rows share the Session
+        # partition convention ("<config>:<oracle>"); ``check_iter``
+        # has no configuration in scope and uses "check:<oracle>".
+        if store is None or isinstance(store, CampaignStore):
+            self.store = store
+            self._owns_store = False
+        else:
+            self.store = CampaignStore(store)
+            self._owns_store = True
         self.warmup = max(0, warmup)
         self.reclaim = reclaim
         self.epoch = 0
@@ -551,6 +564,19 @@ class ShardedBackend(_BackendBase):
         for _index, trace_text in call.results():
             yield parse_trace(trace_text)
 
+    def _store_append(self, partition: str, name: str,
+                      trace_text: str, profiles: tuple,
+                      covered: tuple = (), target: str = "",
+                      exec_seconds: float = 0.0,
+                      check_seconds: float = 0.0) -> None:
+        if self.store is None or not profiles:
+            return
+        self.store.append(TraceRecord(
+            partition=partition, name=name, target_function=target,
+            trace_text=trace_text, profiles=tuple(profiles),
+            covered=tuple(sorted(covered)),
+            exec_seconds=exec_seconds, check_seconds=check_seconds))
+
     def _memoize(self, model: str, trace_text: str,
                  profiles: tuple) -> None:
         from repro.service.pool import VERDICT_MEMO_MAX
@@ -569,8 +595,10 @@ class ShardedBackend(_BackendBase):
                 oracle = self._epochs.warm_oracle(model)
                 for trace in traces[:self.warmup]:
                     verdict = oracle.check(trace)
-                    self._memoize(model, print_trace(trace),
-                                  verdict.profiles)
+                    text = print_trace(trace)
+                    self._memoize(model, text, verdict.profiles)
+                    self._store_append(f"check:{model}", trace.name,
+                                       text, verdict.profiles)
                     yield CheckOutcome(verdict.primary_checked,
                                        frozenset(), verdict.profiles)
                     index += 1
@@ -611,6 +639,8 @@ class ShardedBackend(_BackendBase):
                     profiles, covered = payload
                     if not collect_coverage:
                         self._memoize(model, texts[i], profiles)
+                self._store_append(f"check:{model}", traces[i].name,
+                                   texts[i], profiles, covered)
                 yield CheckOutcome(profiles[0].as_checked(traces[i]),
                                    frozenset(covered), profiles)
             if pool_iter is not None:
@@ -639,6 +669,12 @@ class ShardedBackend(_BackendBase):
                 t1 = time.perf_counter()
                 verdict = oracle.check(trace)
                 t2 = time.perf_counter()
+                self._store_append(f"{quirks.name}:{model}",
+                                   trace.name, print_trace(trace),
+                                   verdict.profiles,
+                                   target=script.target_function,
+                                   exec_seconds=t1 - t0,
+                                   check_seconds=t2 - t1)
                 yield RunRecord(
                     target_function=script.target_function,
                     outcome=CheckOutcome(verdict.primary_checked,
@@ -660,10 +696,16 @@ class ShardedBackend(_BackendBase):
             for _got, payload in call.results():
                 (target, trace_text, profiles, covered, exec_s,
                  check_s) = payload
+                trace = parse_trace(trace_text)
+                self._store_append(f"{quirks.name}:{model}",
+                                   trace.name, trace_text, profiles,
+                                   covered, target=target,
+                                   exec_seconds=exec_s,
+                                   check_seconds=check_s)
                 yield RunRecord(
                     target_function=target,
                     outcome=CheckOutcome(
-                        profiles[0].as_checked(parse_trace(trace_text)),
+                        profiles[0].as_checked(trace),
                         frozenset(covered), profiles),
                     exec_seconds=exec_s, check_seconds=check_s)
         self._finish_call(stats, call)
@@ -671,6 +713,11 @@ class ShardedBackend(_BackendBase):
     def close(self) -> None:
         self._epochs.close()
         self._pool.close()
+        if self.store is not None:
+            if self._owns_store:
+                self.store.close()
+            else:
+                self.store.flush()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing
         try:

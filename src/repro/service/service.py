@@ -34,6 +34,7 @@ from repro.script.ast import Trace
 from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
 from repro.service.pool import ArenaEpochs, ShardPool
+from repro.store import CampaignStore, TraceRecord
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,8 +74,22 @@ class CheckingService:
     def __init__(self, model: str = "all", *,
                  shards: Optional[int] = None, warmup: int = 16,
                  miss_watermark: int = 256, window: int = 16,
-                 chunk: int = 16, reclaim: bool = True) -> None:
+                 chunk: int = 16, reclaim: bool = True,
+                 store: Optional[Union[CampaignStore, str]] = None
+                 ) -> None:
         self.model = model
+        # Campaign store wiring (``repro serve --store DIR``): every
+        # verdict the service produces is appended as it resolves,
+        # under the "serve:<model>" partition — content-addressed, so
+        # client retries and re-submissions add zero rows, and the
+        # campaign survives server restarts.  A store given as a path
+        # is owned (closed on shutdown); an instance is shared.
+        if store is None or isinstance(store, CampaignStore):
+            self.store = store
+            self._owns_store = False
+        else:
+            self.store = CampaignStore(store)
+            self._owns_store = True
         self.warmup = max(0, warmup)
         if shards == 0:
             self.shards = 0
@@ -125,6 +140,11 @@ class CheckingService:
         self._epochs.close()
         if self._pool is not None:
             self._pool.close()
+        if self.store is not None:
+            if self._owns_store:
+                self.store.close()
+            else:
+                self.store.flush()
 
     def __enter__(self) -> "CheckingService":
         self.start()
@@ -138,6 +158,14 @@ class CheckingService:
     def check(self, trace: Union[str, Trace]) -> CheckResult:
         """Submit one trace and wait for its verdict."""
         return self.submit([trace])[0].result()
+
+    def _store_append(self, trace: Trace,
+                      profiles: Tuple[ConformanceProfile, ...]) -> None:
+        if self.store is not None:
+            self.store.append(TraceRecord(
+                partition=f"serve:{self.model}", name=trace.name,
+                target_function="", trace_text=print_trace(trace),
+                profiles=tuple(profiles)))
 
     def submit(self, traces: Sequence[Union[str, Trace]]
                ) -> List[Future]:
@@ -158,6 +186,7 @@ class CheckingService:
                 oracle = self._epochs.warm_oracle(self.model)
                 for future, trace in zip(futures, parsed):
                     verdict = oracle.check(trace)
+                    self._store_append(trace, verdict.profiles)
                     future.set_result(CheckResult(trace.name,
                                                   verdict.profiles))
                 self._resolved_in_parent += len(parsed)
@@ -166,6 +195,7 @@ class CheckingService:
                     oracle = self._epochs.warm_oracle(self.model)
                     for trace in parsed[:self.warmup]:
                         verdict = oracle.check(trace)
+                        self._store_append(trace, verdict.profiles)
                         futures[index].set_result(
                             CheckResult(trace.name, verdict.profiles))
                         index += 1
@@ -180,7 +210,7 @@ class CheckingService:
                     for offset, raw in enumerate(inner):
                         raw.add_done_callback(self._propagate(
                             futures[index + offset],
-                            parsed[index + offset].name))
+                            parsed[index + offset]))
             self._submitted += len(parsed)
             self._outstanding = [f for f in self._outstanding
                                  if not f.done()]
@@ -188,15 +218,18 @@ class CheckingService:
                                      if not f.done())
         return futures
 
-    @staticmethod
-    def _propagate(outer: Future, name: str):
+    def _propagate(self, outer: Future, trace: Trace):
+        # Bound (not static) so pool-path verdicts reach the campaign
+        # store too; the callback runs on the pool's result thread and
+        # the store append is behind the store's own lock.
         def done(inner: Future) -> None:
             error = inner.exception()
             if error is not None:
                 outer.set_exception(error)
                 return
             profiles, _covered = inner.result()
-            outer.set_result(CheckResult(name, profiles))
+            self._store_append(trace, profiles)
+            outer.set_result(CheckResult(trace.name, profiles))
         return done
 
     # -- stats ----------------------------------------------------------------
@@ -213,4 +246,8 @@ class CheckingService:
         totals["arena_rows"] = arena.rows if arena else 0
         totals["traces_submitted"] = self._submitted
         totals["resolved_in_parent"] = self._resolved_in_parent
+        if self.store is not None:
+            store_stats = self.store.stats()
+            totals["store_rows"] = store_stats["rows"]
+            totals["store_dedup_hits"] = store_stats["dedup_hits"]
         return totals

@@ -1,0 +1,39 @@
+"""The columnar campaign store (paper section 6: checking at scale).
+
+``repro.store`` is the durable substrate under long-running checking
+campaigns: an append-only, content-addressed store of per-trace
+records with incremental folded views, so a campaign's results can
+grow past what one in-memory :class:`~repro.api.RunArtifact` can hold.
+
+* :class:`CampaignStore` — the directory of segments + index + view
+  checkpoints (:mod:`repro.store.store`).
+* :class:`TraceRecord` / :class:`MetaRecord` — the durable rows
+  (:mod:`repro.store.records`).
+* :data:`VIEWS` — the incremental folds: merge, survey, portability,
+  coverage (:mod:`repro.store.views`).
+* :class:`StoreCorruption` — loud interior damage
+  (:mod:`repro.store.segment`).
+* :func:`render_dashboard` — the campaign HTML page rendered from
+  folded views (:mod:`repro.store.dashboard`).
+"""
+
+from repro.store.dashboard import render_dashboard
+from repro.store.records import (MetaRecord, StoreRecord, TraceRecord,
+                                 record_key)
+from repro.store.segment import StoreCorruption
+from repro.store.store import CampaignStore, Cursor
+from repro.store.views import VIEWS, portability_summary, render_survey
+
+__all__ = [
+    "CampaignStore",
+    "Cursor",
+    "MetaRecord",
+    "StoreCorruption",
+    "StoreRecord",
+    "TraceRecord",
+    "VIEWS",
+    "portability_summary",
+    "record_key",
+    "render_dashboard",
+    "render_survey",
+]

@@ -1,0 +1,147 @@
+"""The campaign dashboard: one self-contained HTML page rendered from
+the store's *folded views* — never from a loaded artifact.
+
+This is what ``repro campaign report`` emits.  Unlike
+:func:`repro.harness.html.render_html_report`, which walks every
+checked trace, the dashboard only consumes view states (aggregates
+whose size is independent of campaign length), so rendering a
+million-trace campaign costs the same as rendering ten traces.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+_STYLE = """
+body { font-family: monospace; margin: 2em; }
+h1, h2 { font-family: sans-serif; }
+.accepted { color: #2a7d2a; }
+.rejected { color: #b22222; font-weight: bold; }
+.muted { color: #777; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+td, th { border: 1px solid #ccc; padding: 0.3em 0.8em;
+         text-align: left; }
+td.num { text-align: right; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _survey_table(survey: dict) -> list:
+    partitions = survey.get("partitions", {})
+    platforms: list = []
+    for row in partitions.values():
+        for platform in row["accepted"]:
+            if platform not in platforms:
+                platforms.append(platform)
+    parts = ["<h2>Survey</h2>"]
+    if not partitions:
+        parts.append("<p class='muted'>no traces stored yet</p>")
+        return parts
+    parts.append("<table><tr><th>partition</th><th>traces</th>"
+                 + "".join(f"<th>{_esc(p)} accepted</th>"
+                           for p in platforms) + "</tr>")
+    for partition in sorted(partitions):
+        row = partitions[partition]
+        cells = [f"<td>{_esc(partition)}</td>",
+                 f"<td class='num'>{row['total']}</td>"]
+        for platform in platforms:
+            count = row["accepted"].get(platform)
+            if count is None:
+                cells.append("<td class='num muted'>-</td>")
+            else:
+                klass = ("accepted" if count == row["total"]
+                         else "rejected")
+                cells.append(f"<td class='num {klass}'>{count}</td>")
+        parts.append("<tr>" + "".join(cells) + "</tr>")
+    parts.append("</table>")
+    return parts
+
+
+def _portability_table(portability: dict) -> list:
+    parts = ["<h2>Portability</h2>"]
+    total = portability.get("traces", 0)
+    if not total:
+        parts.append("<p class='muted'>no traces stored yet</p>")
+        return parts
+    portable = portability.get("portable", 0)
+    parts.append(
+        f"<p><span class='accepted'>{portable}</span> of {total} "
+        "traces accepted on every real platform.</p>")
+    rejected = portability.get("rejected_counts", {})
+    if rejected:
+        parts.append("<table><tr><th>platform</th>"
+                     "<th>traces rejected</th></tr>")
+        for platform in sorted(rejected):
+            parts.append(f"<tr><td>{_esc(platform)}</td>"
+                         f"<td class='num'>{rejected[platform]}</td>"
+                         "</tr>")
+        parts.append("</table>")
+    sample = portability.get("non_portable_sample", [])
+    if sample:
+        parts.append("<p class='muted'>sample of non-portable traces: "
+                     + ", ".join(_esc(name) for name in sample[:10])
+                     + ("&hellip;" if len(sample) > 10 else "")
+                     + "</p>")
+    return parts
+
+
+def _merge_table(deviations: Sequence) -> list:
+    parts = ["<h2>Merged deviations</h2>"]
+    if not deviations:
+        parts.append("<p class='accepted'>no deviations recorded"
+                     "</p>")
+        return parts
+    parts.append("<table><tr><th>trace</th><th>kind</th>"
+                 "<th>observed</th><th>platforms</th></tr>")
+    for record in deviations:
+        parts.append(
+            f"<tr><td>{_esc(record.trace_name)}</td>"
+            f"<td>{_esc(record.kind)}</td>"
+            f"<td>{_esc(record.observed)}</td>"
+            f"<td>{_esc(', '.join(record.configs))}</td></tr>")
+    parts.append("</table>")
+    return parts
+
+
+def _coverage_block(coverage: dict) -> list:
+    parts = ["<h2>Specification coverage</h2>"]
+    clauses = coverage.get("clauses", [])
+    records = coverage.get("records", 0)
+    with_cov = coverage.get("with_coverage", 0)
+    if not with_cov:
+        parts.append("<p class='muted'>no coverage collected "
+                     f"({records} records stored)</p>")
+        return parts
+    parts.append(f"<p>{len(clauses)} specification clauses covered "
+                 f"across {with_cov} of {records} records.</p>")
+    parts.append("<p class='muted'>" + ", ".join(
+        _esc(clause) for clause in clauses) + "</p>")
+    return parts
+
+
+def render_dashboard(title: str, *, survey: dict, merge: Sequence,
+                     portability: dict, coverage: dict,
+                     stats: dict) -> str:
+    """The campaign dashboard page from the four folded views plus
+    the store's physical stats."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='muted'>{stats.get('rows', 0)} rows in "
+        f"{stats.get('segments', 0)} segment(s), "
+        f"{stats.get('bytes', 0)} bytes on disk; "
+        f"{stats.get('dedup_hits', 0)} duplicate append(s) "
+        "refused.</p>",
+    ]
+    parts.extend(_survey_table(survey))
+    parts.extend(_portability_table(portability))
+    parts.extend(_merge_table(merge))
+    parts.extend(_coverage_block(coverage))
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -1,0 +1,130 @@
+"""The on-disk segment format: length-prefixed, checksummed JSONL.
+
+A segment file is a plain concatenation of *records*, each laid out as::
+
+    <8 hex chars: payload byte length> SP <8 hex chars: CRC-32> SP
+    <payload: compact JSON, UTF-8> LF
+
+The fixed 18-byte header makes every record self-delimiting without
+parsing the JSON, and the CRC makes torn writes detectable: a record
+interrupted mid-write (power cut, SIGKILL) leaves either a short
+header, a short payload, a missing terminator, or a checksum mismatch
+*at the end of the file* — all of which :func:`scan` classifies as a
+**torn tail** to be truncated away on open.  The same failures found
+with more data *after* them cannot be produced by an interrupted
+append, so they are classified as **corruption** and raised loudly as
+:class:`StoreCorruption` — the store never silently drops interior
+records.
+
+The payload is compact (``separators=(",", ":")``) sorted-key JSON, so
+an identical record always serialises to identical bytes — which is
+what makes re-run campaigns produce bit-for-bit identical view folds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import zlib
+from typing import Iterator, Tuple
+
+#: ``"%08x %08x "`` — length, space, crc, space.
+HEADER_LEN = 18
+
+
+class StoreCorruption(Exception):
+    """Interior segment damage (not a torn tail): data that was once
+    durably written no longer parses.  Never raised for a clean
+    truncation at the end of the final segment."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TailTorn(Exception):
+    """Internal signal: the segment ends in a partially written
+    record.  ``offset`` is where the valid prefix ends."""
+
+    offset: int
+
+
+def encode_record(payload: dict) -> bytes:
+    """One record's exact on-disk bytes."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    header = b"%08x %08x " % (len(body), zlib.crc32(body))
+    return header + body + b"\n"
+
+
+def _fail(data: bytes, offset: int, end: int, last: bool,
+          what: str) -> Exception:
+    """Classify a parse failure: a failure whose record region reaches
+    the end of the *last* segment is a torn tail; anything else is
+    corruption."""
+    if last and end >= len(data):
+        return TailTorn(offset)
+    return StoreCorruption(
+        f"segment record at byte {offset} is damaged ({what}) with "
+        f"{len(data) - min(end, len(data))} byte(s) of data after it")
+
+
+def decode_records(data: bytes, *, start: int = 0,
+                   last: bool = False) -> Iterator[Tuple[int, int, dict]]:
+    """Yield ``(offset, end, payload)`` for every record in ``data``
+    from ``start``.
+
+    ``last`` marks the final segment of the store: a failure that
+    extends to the end of the buffer is then reported as
+    :class:`TailTorn` (the caller truncates) instead of
+    :class:`StoreCorruption`.  Both are raised, not returned — a
+    generator cannot keep yielding past damage it cannot delimit.
+    """
+    pos = start
+    size = len(data)
+    while pos < size:
+        if size - pos < HEADER_LEN:
+            raise _fail(data, pos, size, last, "short header")
+        header = data[pos:pos + HEADER_LEN]
+        try:
+            if header[8:9] != b" " or header[17:18] != b" ":
+                raise ValueError("bad separators")
+            length = int(header[0:8], 16)
+            crc = int(header[9:17], 16)
+        except ValueError:
+            # A complete-but-malformed header cannot come from an
+            # interrupted append (appends write a valid prefix), so it
+            # is always interior damage, never a torn tail.
+            raise _fail(data, pos, pos, last, "malformed header")
+        end = pos + HEADER_LEN + length + 1
+        if end > size:
+            raise _fail(data, pos, end, last, "short payload")
+        body = data[pos + HEADER_LEN:end - 1]
+        if data[end - 1:end] != b"\n":
+            raise _fail(data, pos, end, last, "missing terminator")
+        if zlib.crc32(body) != crc:
+            raise _fail(data, pos, end, last, "checksum mismatch")
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            raise _fail(data, pos, end, last, "unparseable payload")
+        yield pos, end, payload
+        pos = end
+
+
+def scan(data: bytes, *, start: int = 0,
+         last: bool = False) -> Tuple[list, int]:
+    """Parse ``data`` from ``start``; returns ``(records, valid_end)``
+    where records are ``(offset, end, payload)`` rows.
+
+    On a torn tail (only possible with ``last=True``) the valid prefix
+    is returned and ``valid_end`` marks where to truncate; interior
+    damage raises :class:`StoreCorruption`.
+    """
+    records = []
+    valid_end = start
+    try:
+        for offset, end, payload in decode_records(data, start=start,
+                                                   last=last):
+            records.append((offset, end, payload))
+            valid_end = end
+    except TailTorn as torn:
+        return records, torn.offset
+    return records, valid_end

@@ -1,0 +1,208 @@
+"""Incremental campaign views: folds over the record stream.
+
+A *view* answers one of the questions the in-memory machinery answers
+over a loaded :class:`~repro.api.RunArtifact` — merged deviations
+(:func:`repro.harness.merge.merge_verdicts`), the per-partition survey
+counts (:meth:`RunArtifact.conformance_counts`), the portability
+summary (folded :func:`repro.harness.portability.portability_report`)
+and specification coverage — but as a **fold**: ``state' = fold(state,
+record)``, applied to each trace record exactly once.  State is small
+(aggregates, not traces) and JSON-serialisable, so the store can
+checkpoint it together with a byte cursor
+(:class:`repro.store.store.Cursor`) and later resume folding from
+where it stopped without re-reading completed segments.
+
+Bit-for-bit parity with the in-memory implementations is part of the
+contract (test-enforced on the handwritten suite): folding a store
+holding a run's records yields *exactly* what the in-memory fold over
+that run's verdicts yields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.platform import real_platforms
+from repro.store.records import TraceRecord
+
+#: Cap on the non-portable trace-name sample kept in the portability
+#: state (the counts stay exact; the sample is illustrative).
+PORTABILITY_SAMPLE = 50
+
+
+class View:
+    """One incremental fold.  Subclasses define the three hooks; state
+    must stay JSON-serialisable (the store checkpoints it as-is)."""
+
+    name: str = ""
+
+    def initial(self) -> dict:
+        raise NotImplementedError
+
+    def fold(self, state: dict, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def result(self, state: dict):
+        """The typed/rendered answer derived from folded state."""
+        return state
+
+
+class MergeView(View):
+    """The platform-axis merge: which platforms exhibit each distinct
+    deviation.  Result parity: ``merge_verdicts(verdicts)``."""
+
+    name = "merge"
+
+    def initial(self) -> dict:
+        return {"groups": {}}
+
+    def fold(self, state: dict, record: TraceRecord) -> None:
+        groups = state["groups"]
+        for profile in record.profiles:
+            for dev in profile.deviations:
+                key = json.dumps([record.name, dev.kind, dev.observed,
+                                  list(dev.allowed)])
+                labels = groups.setdefault(key, [])
+                if profile.platform not in labels:
+                    labels.append(profile.platform)
+                    labels.sort()
+
+    def result(self, state: dict) -> list:
+        from repro.harness.merge import DeviationRecord
+        records = []
+        for key, labels in state["groups"].items():
+            trace_name, kind, observed, allowed = json.loads(key)
+            records.append(DeviationRecord(
+                trace_name=trace_name, kind=kind, observed=observed,
+                allowed=tuple(allowed), configs=tuple(labels)))
+        records.sort(key=lambda r: (r.ubiquity, r.trace_name,
+                                    r.observed))
+        return records
+
+
+class SurveyView(View):
+    """Per-partition conformance counts: for every config-partition,
+    how many traces were checked and how many each platform accepted.
+    Parity per imported run: ``accepted`` equals the artifact's
+    ``conformance_counts()`` and ``total`` its trace count."""
+
+    name = "survey"
+
+    def initial(self) -> dict:
+        return {"partitions": {}}
+
+    def fold(self, state: dict, record: TraceRecord) -> None:
+        row = state["partitions"].setdefault(
+            record.partition, {"total": 0, "accepted": {}})
+        row["total"] += 1
+        for profile in record.profiles:
+            counts = row["accepted"]
+            counts.setdefault(profile.platform, 0)
+            if profile.accepted:
+                counts[profile.platform] += 1
+
+
+def fold_portability(state: dict, trace_name: str,
+                     accepted_on: Iterable[str],
+                     rejected_on: Iterable[str]) -> None:
+    """The one portability fold step, shared by the store view and the
+    in-memory twin (:func:`portability_summary`) so the two cannot
+    drift: a trace is portable iff every real platform accepts it."""
+    state["traces"] += 1
+    accepted = set(accepted_on)
+    if all(p in accepted for p in real_platforms()):
+        state["portable"] += 1
+    else:
+        if len(state["non_portable_sample"]) < PORTABILITY_SAMPLE:
+            state["non_portable_sample"].append(trace_name)
+    counts = state["rejected_counts"]
+    for platform in rejected_on:
+        counts[platform] = counts.get(platform, 0) + 1
+
+
+def initial_portability() -> dict:
+    return {"traces": 0, "portable": 0, "rejected_counts": {},
+            "non_portable_sample": []}
+
+
+def portability_summary(reports) -> dict:
+    """The in-memory twin: fold
+    :class:`~repro.harness.portability.PortabilityReport` values into
+    the same summary shape the store view produces."""
+    state = initial_portability()
+    for report in reports:
+        fold_portability(state, report.trace_name, report.accepted_on,
+                         sorted(report.rejected_on))
+    return state
+
+
+class PortabilityView(View):
+    """How much of the campaign is portable across the real modelled
+    platforms, and which platforms reject the rest."""
+
+    name = "portability"
+
+    def initial(self) -> dict:
+        return initial_portability()
+
+    def fold(self, state: dict, record: TraceRecord) -> None:
+        accepted = [p.platform for p in record.profiles if p.accepted]
+        rejected = sorted(p.platform for p in record.profiles
+                          if not p.accepted)
+        fold_portability(state, record.name, accepted, rejected)
+
+
+class CoverageView(View):
+    """Union of the specification clauses covered by the campaign's
+    checking (only records checked with coverage collection
+    contribute).  Parity: the artifact's ``covered_clauses``."""
+
+    name = "coverage"
+
+    def initial(self) -> dict:
+        return {"clauses": [], "records": 0, "with_coverage": 0}
+
+    def fold(self, state: dict, record: TraceRecord) -> None:
+        state["records"] += 1
+        if record.covered:
+            state["with_coverage"] += 1
+            merged = set(state["clauses"])
+            merged.update(record.covered)
+            state["clauses"] = sorted(merged)
+
+    def result(self, state: dict) -> Tuple[str, ...]:
+        return tuple(state["clauses"])
+
+
+#: The built-in views, by name (what ``CampaignStore.view`` resolves).
+VIEWS: Dict[str, View] = {
+    view.name: view
+    for view in (MergeView(), SurveyView(), PortabilityView(),
+                 CoverageView())
+}
+
+
+def render_survey(survey: dict) -> str:
+    """The survey view as a text table (one row per partition)."""
+    partitions = survey.get("partitions", {})
+    if not partitions:
+        return "campaign store is empty"
+    lines = []
+    platforms: List[str] = []
+    for row in partitions.values():
+        for platform in row["accepted"]:
+            if platform not in platforms:
+                platforms.append(platform)
+    header = f"{'partition':<42} {'total':>7}"
+    for platform in platforms:
+        header += f" {platform:>9}"
+    lines.append(header)
+    for partition in sorted(partitions):
+        row = partitions[partition]
+        line = f"{partition:<42} {row['total']:>7}"
+        for platform in platforms:
+            count = row["accepted"].get(platform)
+            line += f" {count if count is not None else '-':>9}"
+        lines.append(line)
+    return "\n".join(lines)

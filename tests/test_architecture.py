@@ -31,6 +31,11 @@ LAYERS = {
     "repro.oracle": 10,
     "repro.gen": 11,
     "repro.harness": 11,
+    # The campaign store sits beside the harness: the backends append
+    # to it, its merge view's *result* type comes from harness.merge
+    # (a lazy, same-layer import), and the api/service layers above
+    # wire it through.
+    "repro.store": 11,
     # The persistent pool layer sits beside the harness (the sharded
     # backend is built on it); the service front door (CheckingService,
     # asyncio server, client) sits above the api facade.  Order
