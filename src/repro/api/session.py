@@ -249,10 +249,31 @@ class Session:
             # check them rather than re-executing the suite.
             yield from self._iter_checked_traces(progress)
             return
-        yield from self._iter_checked_streaming(progress)
+        for record in self._iter_records_streaming(progress):
+            yield record.outcome.checked
 
-    def _iter_checked_streaming(self, progress: Optional[ProgressFn]
-                                ) -> Iterator[CheckedTrace]:
+    def iter_records(self, progress: Optional[ProgressFn] = None
+                     ) -> Iterator[RunRecord]:
+        """Stream full :class:`RunRecord` values as the backend
+        completes them: the checked trace plus its per-script coverage
+        fingerprint and per-platform profiles.
+
+        This is the coverage-guided consumer's surface (the fuzzer
+        selects parents by per-script clause hit-sets, which the
+        artifact's union cannot provide).  Like :meth:`iter_checked`,
+        consuming every item caches the artifact and streams rows into
+        the campaign store.  Only a fresh session streams records: once
+        the artifact is cached the per-record coverage is gone, so this
+        raises rather than silently yielding hollow records.
+        """
+        if self._artifact is not None or self._traces is not None:
+            raise RuntimeError(
+                "iter_records needs a fresh session: the pipeline "
+                "already ran and per-record coverage is folded away")
+        yield from self._iter_records_streaming(progress)
+
+    def _iter_records_streaming(self, progress: Optional[ProgressFn]
+                                ) -> Iterator[RunRecord]:
         """The plan -> backend stream: generation is consumed lazily by
         the backend chunker, so checking overlaps generation and the
         suite is never held in memory.
@@ -308,7 +329,7 @@ class Session:
             if pending is None:
                 self._finalize_records(
                     records, wall_seconds=time.perf_counter() - t0)
-            yield record.outcome.checked
+            yield record
         if self._artifact is None:  # empty suite: the loop never ran
             self._finalize_records(records, wall_seconds=0.0)
 

@@ -54,6 +54,7 @@ for CI).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional
@@ -334,14 +335,79 @@ def _cmd_survey(args) -> int:
 
 
 def _cmd_coverage(args) -> int:
+    from repro.core.coverage import REGISTRY as COVERAGE
+
     with make_backend(args.processes, chunksize=args.chunksize,
                       backend=args.backend,
                       shards=args.shards) as backend:
         session = Session(args.config, model=args.model,
                           plan=_plan_from_args(args),
                           backend=backend, collect_coverage=True)
-        report = session.run().coverage_report()
+        artifact = session.run()
+        report = artifact.coverage_report()
+    # The reachable-but-unhit clauses, per platform: the frontier a
+    # coverage-guided campaign (repro fuzz) chases.
+    frontier = COVERAGE.frontier(artifact.covered_clauses,
+                                 sorted(SPECS))
+    if args.json:
+        payload = report.to_dict()
+        payload["config"] = session.quirks.name
+        payload["model"] = session.model
+        payload["uncovered_by_platform"] = frontier
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"coverage JSON written to {args.json}")
+        if not args.uncovered:
+            return 0
+    if args.uncovered:
+        for platform in sorted(frontier):
+            for clause in frontier[platform]:
+                print(f"{platform} {clause}")
+        return 0
     print(report.render())
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """The coverage-guided fuzzing loop (importing :mod:`repro.fuzz`
+    also registers the ``fuzz`` campaign-store view)."""
+    from repro.fuzz import run_fuzz
+
+    platforms = (_parse_platforms(args.platforms)
+                 if args.platforms else None)
+
+    def progress(done: int, total: int, stats: dict) -> None:
+        sizes = ",".join(f"{p}:{n}" for p, n in
+                         sorted(stats.get("frontier_sizes",
+                                          {}).items()))
+        print(f"iteration {done}/{total}: corpus "
+              f"{stats['corpus_size']}, covered "
+              f"{stats['covered_clauses']} clauses, frontier "
+              f"[{sizes}]", file=sys.stderr, flush=True)
+
+    report = run_fuzz(
+        args.config, platforms=platforms,
+        iterations=args.iterations, batch=args.batch, seed=args.seed,
+        store=args.store,
+        backend=args.backend, processes=args.processes,
+        shards=args.shards, chunksize=args.chunksize,
+        progress=progress if args.progress else None)
+    last = report.history[-1] if report.history else {}
+    print(f"fuzz: {report.config} on "
+          f"{'+'.join(report.platforms)}; corpus "
+          f"{report.corpus_size} scripts, "
+          f"{len(report.covered)} clauses covered after "
+          f"{report.iterations} iteration(s)")
+    for platform, clauses in sorted(report.frontier.items()):
+        print(f"  frontier {platform:<8} {len(clauses)} "
+              f"reachable clauses unhit")
+    if last.get("divergent"):
+        print(f"  {last['divergent']} corpus script(s) "
+              f"platform-divergent")
+    if args.frontier_json:
+        pathlib.Path(args.frontier_json).write_text(
+            report.to_json() + "\n")
+        print(f"fuzz report JSON written to {args.frontier_json}")
     return 0
 
 
@@ -621,9 +687,47 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("coverage", help="measure model coverage")
     p.add_argument("--config", default="linux_ext4")
     p.add_argument("--model", default=None)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the coverage report as JSON: covered "
+                        "and uncovered clause lists plus the "
+                        "per-platform reachable-but-unhit frontier")
+    p.add_argument("--uncovered", action="store_true",
+                   help="print the reachable-but-unhit clauses, one "
+                        "'<platform> <clause>' per line, instead of "
+                        "the rendered report")
     _add_plan_flags(p)
     _add_backend_flags(p)
     p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser("fuzz", help="coverage-guided scenario fuzzing "
+                                    "(mutate toward rare clauses and "
+                                    "platform divergence)")
+    p.add_argument("--config", default="linux_ext4")
+    p.add_argument("--platforms", default=None, metavar="LIST",
+                   help="comma-separated platforms, 'all' or 'real' "
+                        "(default: every real platform, so the "
+                        "divergence signal is live); the first entry "
+                        "is the primary model")
+    p.add_argument("--iterations", type=int, default=8,
+                   help="fuzzing iterations (iteration 0 of a fresh "
+                        "campaign runs the scenario seed families)")
+    p.add_argument("--batch", type=int, default=8,
+                   help="mutants per iteration")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed (same seed + budget + store state "
+                        "=> identical corpus and frontier history)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persist the corpus in a campaign store "
+                        "(created if absent) and resume from it; "
+                        "keeps the incremental 'fuzz' view fresh")
+    p.add_argument("--frontier-json", default=None, metavar="PATH",
+                   help="write the full fuzz report (per-iteration "
+                        "frontier history, covered clauses, corpus "
+                        "size) as JSON — the CI artifact")
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-iteration progress to stderr")
+    _add_backend_flags(p)
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("plans", help="list registered generation "
                                      "strategies with estimates")

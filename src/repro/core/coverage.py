@@ -53,16 +53,24 @@ class CoverageRegistry:
         return name
 
     def hit(self, name: str) -> None:
-        """Record that the named clause was evaluated."""
+        """Record that the named clause was evaluated.
+
+        The increment (and the auto-registration fallback) run under
+        the registry lock: streamed backends check on threads, and an
+        unlocked read-modify-write would silently lose hits — exactly
+        the counts :meth:`hit_names` ships between processes.
+        """
         if not self._enabled:
             return
-        point = self._points.get(name)
-        if point is None:
-            # Auto-register clauses exercised before declaration (keeps the
-            # instrumentation non-fatal if a module forgets to declare).
-            point = _Point(name=name, reachable=True, platforms=None)
-            self._points[name] = point
-        point.hits += 1
+        with self._lock:
+            point = self._points.get(name)
+            if point is None:
+                # Auto-register clauses exercised before declaration
+                # (keeps the instrumentation non-fatal if a module
+                # forgets to declare).
+                point = _Point(name=name, reachable=True, platforms=None)
+                self._points[name] = point
+            point.hits += 1
 
     def reset_hits(self) -> None:
         """Zero all hit counts (e.g. before measuring one suite run)."""
@@ -114,6 +122,35 @@ class CoverageRegistry:
                              if p.name not in covered_set),
         )
 
+    def reachable_names(self, platform: str | None = None
+                        ) -> FrozenSet[str]:
+        """Every declared clause that is reachable (and relevant for
+        ``platform``, when given) — the coverage denominator, and the
+        universe the fuzzer's frontier is computed against."""
+        names = []
+        for point in self._points.values():
+            if not point.reachable:
+                continue
+            if (platform is not None and point.platforms is not None
+                    and platform not in point.platforms):
+                continue
+            names.append(point.name)
+        return frozenset(names)
+
+    def frontier(self, covered: Iterable[str],
+                 platforms: Iterable[str]) -> Dict[str, list]:
+        """Per-platform reachable-but-unhit clause lists.
+
+        This is the machine-readable shape behind ``repro coverage
+        --uncovered``/``--json`` and the input the coverage-guided
+        fuzzer steers toward: for each platform, the clauses a run
+        could still hit but has not.
+        """
+        covered_set = set(covered)
+        return {platform: sorted(self.reachable_names(platform)
+                                 - covered_set)
+                for platform in platforms}
+
     @property
     def declared(self) -> int:
         return len(self._points)
@@ -132,6 +169,12 @@ class CoverageReport:
         if self.total == 0:
             return 1.0
         return len(self.covered) / self.total
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``repro coverage --json`` row shape)."""
+        return {"total": self.total, "fraction": self.fraction,
+                "covered": list(self.covered),
+                "uncovered": list(self.uncovered)}
 
     def render(self) -> str:
         pct = 100.0 * self.fraction

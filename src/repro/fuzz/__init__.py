@@ -1,0 +1,50 @@
+"""``repro.fuzz`` — coverage-guided scenario fuzzing.
+
+The fuzzer closes the loop the paper leaves open: generation is
+feedback-free (combinatorial products, handwritten scripts, blind
+randomness), yet checking already *measures* which specification
+clauses each trace evaluates.  This package feeds that measurement
+back: a corpus of scripts annotated with coverage fingerprints and
+verdict signals (:mod:`repro.fuzz.corpus`), AST-level mutation
+operators (:mod:`repro.fuzz.mutate`), and an energy-based loop
+(:mod:`repro.fuzz.loop`) that steers mutation toward rare clauses and
+cross-platform divergence.  Every mutant flows through the ordinary
+:class:`~repro.api.Session` pipeline — plans, executor, oracles,
+serial/pooled/sharded/served backends, the parity harness — with zero
+special cases, and a campaign store persists the corpus so ``repro
+fuzz --store`` resumes across restarts.
+
+Importing this package registers the ``fuzz`` campaign-store view
+(:mod:`repro.fuzz.view`) — the view-plugin analogue of registering a
+generation strategy.
+"""
+
+from repro.fuzz.corpus import (Corpus, CorpusEntry, overlap_schedule,
+                               script_from_trace)
+from repro.fuzz.loop import (SEED_STRATEGIES, FuzzReport, run_fuzz)
+from repro.fuzz.mutate import (OPERATOR_WEIGHTS, drop, extend, insert,
+                               mutate, perturb, sanitize, splice)
+from repro.fuzz.view import FuzzView
+from repro.store import VIEWS, register_view
+
+if "fuzz" not in VIEWS:
+    register_view(FuzzView())
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "FuzzReport",
+    "FuzzView",
+    "OPERATOR_WEIGHTS",
+    "SEED_STRATEGIES",
+    "drop",
+    "extend",
+    "insert",
+    "mutate",
+    "overlap_schedule",
+    "perturb",
+    "run_fuzz",
+    "sanitize",
+    "script_from_trace",
+    "splice",
+]

@@ -1,0 +1,193 @@
+"""The fuzzing corpus: scripts annotated with coverage and verdicts.
+
+A :class:`CorpusEntry` is one script the loop has already run, carrying
+its *coverage fingerprint* (the specification clauses checking that
+script's trace evaluated) and its *verdict signals* (did any platform
+reject the trace — quirk-triggering — and did platforms disagree —
+cross-platform divergence).  The :class:`Corpus` keys entries by exact
+script text (the same content address the campaign store uses for
+traces), keeps a global per-clause hit count, and implements the
+energy-based scheduler: an entry's energy is the sum of the *rarity* of
+its clauses (``1 / corpus-wide hits``) plus bonuses for divergence and
+deviation, so parent selection drifts toward scripts that touch what
+the rest of the corpus does not.
+
+Resume is structural: a campaign-store :class:`~repro.store.TraceRecord`
+carries the trace text, its covered clauses and per-platform profiles —
+everything an entry needs — and :func:`script_from_trace` recovers the
+runnable script from the trace (calls become steps, create/destroy
+events become directives).  The recovered script replays the *realized*
+behaviour: commands of dead processes were skipped by the executor and
+are absent from the trace, so a resumed corpus is exactly what was
+durably observed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.script.ast import (CreateEvent, DestroyEvent, Script,
+                              ScriptItem, ScriptStep, Trace)
+from repro.core.labels import OsCall, OsCreate, OsDestroy, OsReturn
+from repro.script.ast import TraceEvent
+from repro.script.parser import parse_script
+from repro.script.printer import print_script
+
+
+def script_from_trace(trace: Trace) -> Script:
+    """The script realizing a trace: its calls and process events."""
+    items: List[ScriptItem] = []
+    for event in trace.events:
+        label = event.label
+        if isinstance(label, OsCall):
+            items.append(ScriptStep(pid=label.pid, cmd=label.cmd))
+        elif isinstance(label, OsCreate):
+            if label.pid == 1 and label.uid == 0 and label.gid == 0:
+                # The executor creates p1 with these defaults
+                # implicitly; keeping the directive out makes the
+                # recovered text identical to scripts that relied on
+                # the implicit creation (exact-text corpus dedup).
+                continue
+            items.append(CreateEvent(pid=label.pid, uid=label.uid,
+                                     gid=label.gid))
+        elif isinstance(label, OsDestroy):
+            items.append(DestroyEvent(pid=label.pid))
+    return Script(name=trace.name, items=tuple(items))
+
+
+def overlap_schedule(trace: Trace) -> Trace:
+    """Reorder a multi-process trace into an overlapping schedule.
+
+    The executor serialises every call (CALL immediately followed by
+    its RETURN); the *checker*, though, handles genuinely concurrent
+    schedules — a call left pending while another process calls.  This
+    helper delays each RETURN until just before its process's next
+    event, so adjacent calls by different processes overlap
+    (``CALL p1; CALL p2; RETURN p1; RETURN p2``) and checking walks the
+    tau-closure machinery with two calls in flight.  Single-process
+    traces come back unchanged.
+    """
+    events = list(trace.events)
+    out: List[TraceEvent] = []
+    pending: List[TraceEvent] = []  # delayed returns, in arrival order
+
+    def flush(pid: Optional[int]) -> None:
+        for held in list(pending):
+            if pid is None or held.label.pid == pid:
+                out.append(held)
+                pending.remove(held)
+
+    for event in events:
+        label = event.label
+        if isinstance(label, OsReturn):
+            if pending and pending[-1].label.pid != label.pid:
+                # Already overlapping in the source; keep order.
+                flush(label.pid)
+                out.append(event)
+            else:
+                pending.append(event)
+            continue
+        flush(label.pid)
+        if len(pending) >= 2:
+            # Never hold more than two calls open: the paper's
+            # schedules are small, and bounded overlap keeps the
+            # state-set exploration tractable.
+            flush(None)
+        out.append(event)
+    flush(None)
+    return Trace(name=trace.name, events=tuple(out))
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusEntry:
+    """One already-run script with its coverage and verdict signals."""
+
+    script_text: str
+    name: str
+    fingerprint: FrozenSet[str]
+    divergent: bool = False
+    deviating: bool = False
+
+    @property
+    def script(self) -> Script:
+        return parse_script(self.script_text)
+
+
+def entry_signals(profiles: Iterable) -> Tuple[bool, bool]:
+    """``(divergent, deviating)`` from per-platform profiles."""
+    accepted = [bool(p.accepted) for p in profiles]
+    deviating = any(not a for a in accepted)
+    divergent = deviating and any(accepted)
+    return divergent, deviating
+
+
+#: Energy bonuses: divergence is the strongest signal (a platform
+#: disagreement is exactly what the survey hunts), deviation next.
+DIVERGENCE_BONUS = 2.0
+DEVIATION_BONUS = 0.5
+
+
+class Corpus:
+    """The deduplicated corpus plus the energy scheduler's statistics."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CorpusEntry] = {}
+        self._clause_hits: Dict[str, int] = {}
+        self._covered: set = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    @property
+    def covered(self) -> FrozenSet[str]:
+        """Union of every entry's fingerprint (the coverage frontier's
+        complement)."""
+        return frozenset(self._covered)
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Add an entry; returns False for an exact-script duplicate
+        (its clause hits still count toward rarity)."""
+        for clause in entry.fingerprint:
+            self._clause_hits[clause] = \
+                self._clause_hits.get(clause, 0) + 1
+        self._covered.update(entry.fingerprint)
+        if entry.script_text in self._entries:
+            return False
+        self._entries[entry.script_text] = entry
+        return True
+
+    def add_script(self, script: Script, covered: Iterable[str],
+                   profiles: Iterable = ()) -> bool:
+        divergent, deviating = entry_signals(profiles)
+        return self.add(CorpusEntry(
+            script_text=print_script(script), name=script.name,
+            fingerprint=frozenset(covered), divergent=divergent,
+            deviating=deviating))
+
+    def energy(self, entry: CorpusEntry) -> float:
+        """Rarity-weighted selection energy (higher = fitter parent)."""
+        rarity = sum(1.0 / self._clause_hits.get(clause, 1)
+                     for clause in entry.fingerprint)
+        if entry.divergent:
+            rarity += DIVERGENCE_BONUS
+        elif entry.deviating:
+            rarity += DEVIATION_BONUS
+        return rarity
+
+    def select(self, rng: random.Random, k: int) -> List[CorpusEntry]:
+        """``k`` energy-weighted parents (with replacement: a very fit
+        entry may parent several mutants of one batch)."""
+        entries = list(self._entries.values())
+        if not entries:
+            return []
+        weights = [max(self.energy(e), 1e-6) for e in entries]
+        return rng.choices(entries, weights=weights, k=k)
+
+    def scripts(self) -> List[Script]:
+        """Every corpus script, in insertion order."""
+        return [entry.script for entry in self._entries.values()]

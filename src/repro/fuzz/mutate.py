@@ -1,0 +1,411 @@
+"""AST-level mutation operators over scripts.
+
+Every operator maps ``(Script, random.Random) -> Script`` and works on
+the command AST — never on text — so each mutant round-trips through
+the parser/printer byte-identically and type-checks against the frozen
+command dataclasses by construction (a seeded property test enforces
+both).  The operators:
+
+* :func:`perturb` — argument perturbation: re-draw one field of one
+  command from the randomized generator's pools (paths biased toward
+  collisions, small fds, short/long payloads).
+* :func:`splice` — crossover: a prefix of one parent spliced onto a
+  suffix of another.
+* :func:`insert` — targeted insertion: a fragment *synthesised from the
+  structure of a rare clause's name* (``family.op.case``): a
+  precondition engineering the case's situation (missing path, symlink
+  cycle, path through a file, unprivileged process, ...) followed by
+  the named operation aimed at it.
+* :func:`extend` — append fresh random commands after the parent.
+  This is the prefix-cache-friendly operator: the parent's whole
+  prefix is intact, so checking a mutant re-uses the parent's cached
+  state sets.
+* :func:`drop` — remove one step (shrinks pathological growth).
+
+After structural surgery :func:`sanitize` repairs process directives:
+the kernel refuses duplicate ``create_process`` calls, so duplicated
+create directives (and destroys for never-created processes) from a
+splice must be dropped, and steps are otherwise left alone — the
+executor auto-creates unknown pids and skips dead ones, which is
+well-defined behaviour worth fuzzing, not an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import commands as C
+from repro.core.flags import OpenFlag, SeekWhence
+from repro.script.ast import (CreateEvent, DestroyEvent, Script,
+                              ScriptItem, ScriptStep)
+from repro.testgen.randomized import (DATA, MODES, _random_command,
+                                      _random_flags, _random_path)
+
+#: A payload past the partial-I/O bound (64): transfers this large
+#: enumerate the short-read/short-write clauses.
+LONG_DATA = b"z" * 65
+
+
+def sanitize(items: Sequence[ScriptItem]) -> Tuple[ScriptItem, ...]:
+    """Repair process directives after structural surgery.
+
+    Drops create directives for already-live pids (the kernel raises on
+    duplicates) and destroy directives for processes never created;
+    plain steps always survive (unknown pids are auto-created, dead
+    pids are skipped — both well-defined executor behaviour).
+    """
+    live = {1}
+    out: List[ScriptItem] = []
+    for item in items:
+        if isinstance(item, CreateEvent):
+            if item.pid in live:
+                continue
+            live.add(item.pid)
+        elif isinstance(item, DestroyEvent):
+            if item.pid not in live or item.pid == 1:
+                continue
+            live.discard(item.pid)
+        elif isinstance(item, ScriptStep):
+            live.add(item.pid)  # executor auto-creates on first step
+        out.append(item)
+    return tuple(out)
+
+
+def _perturb_command(cmd: C.OsCommand, rng: random.Random) -> C.OsCommand:
+    """Re-draw one field of one command from the generator pools."""
+    fields = dataclasses.fields(cmd)
+    field = rng.choice(fields)
+    value = getattr(cmd, field.name)
+    if isinstance(value, OpenFlag):
+        new = _random_flags(rng)
+    elif isinstance(value, bytes):
+        new = rng.choice(tuple(DATA) + (LONG_DATA,))
+    elif isinstance(value, str):
+        new = _random_path(rng)
+    elif isinstance(value, int) and field.name == "mode":
+        new = rng.choice(MODES)
+    elif isinstance(value, int):
+        new = value + rng.choice((-65, -2, -1, 1, 2, 64, 65))
+    else:
+        new = value
+    if new == value:
+        return _random_command(rng)
+    return dataclasses.replace(cmd, **{field.name: new})
+
+
+def perturb(script: Script, rng: random.Random) -> Script:
+    """Argument perturbation: mutate one field of one random step."""
+    steps = [i for i, item in enumerate(script.items)
+             if isinstance(item, ScriptStep)]
+    if not steps:
+        return extend(script, rng)
+    index = rng.choice(steps)
+    items = list(script.items)
+    step = items[index]
+    if rng.random() < 0.15:
+        # Occasionally move the step to another scripted process.
+        pids = sorted({it.pid for it in script.items
+                       if isinstance(it, ScriptStep)} | {1, 2})
+        items[index] = ScriptStep(pid=rng.choice(pids), cmd=step.cmd)
+    else:
+        items[index] = ScriptStep(pid=step.pid,
+                                  cmd=_perturb_command(step.cmd, rng))
+    return Script(name=script.name, items=sanitize(items))
+
+
+def splice(a: Script, b: Script, rng: random.Random) -> Script:
+    """Crossover: a prefix of ``a`` spliced onto a suffix of ``b``."""
+    cut_a = rng.randint(0, len(a.items))
+    cut_b = rng.randint(0, len(b.items))
+    items = list(a.items[:cut_a]) + list(b.items[cut_b:])
+    if not items:
+        return extend(Script(name=a.name, items=()), rng)
+    return Script(name=a.name, items=sanitize(items))
+
+
+def extend(script: Script, rng: random.Random,
+           count: Optional[int] = None) -> Script:
+    """Append fresh random commands (keeps the parent prefix intact,
+    so cached prefix state sets are re-used when checking)."""
+    count = count if count is not None else rng.randint(1, 3)
+    items = list(script.items)
+    pids = sorted({it.pid for it in script.items
+                   if isinstance(it, ScriptStep)} | {1})
+    for _ in range(count):
+        items.append(ScriptStep(pid=rng.choice(pids),
+                                cmd=_random_command(rng)))
+    return Script(name=script.name, items=sanitize(items))
+
+
+def drop(script: Script, rng: random.Random) -> Script:
+    """Remove one random item."""
+    if not script.items:
+        return extend(script, rng)
+    index = rng.randrange(len(script.items))
+    items = list(script.items)
+    del items[index]
+    return Script(name=script.name, items=sanitize(items))
+
+
+# ---------------------------------------------------------------------------
+# rare-clause fragments: clause-structured command synthesis
+# ---------------------------------------------------------------------------
+#
+# Clause names are structured — ``fsop.<op>.<case>``, ``osapi.<call>.
+# <case>``, ``pathres.<case>``, ``dirops.<case>`` — so a fragment is
+# synthesised in two steps: a *precondition* from the case keywords
+# (noent needs a missing path, resolution_error a path through a file,
+# eloop a symlink cycle, is_dir a directory, ...) and then the named
+# operation aimed at the prepared path.  The fragment is a directed
+# nudge, not a guarantee: guidance comes from the energy scheduler
+# reinforcing whatever actually lands.
+
+def _mkfile(name: str) -> List[ScriptItem]:
+    return [ScriptStep(1, C.Open(name, OpenFlag.O_CREAT
+                                 | OpenFlag.O_WRONLY, 0o644)),
+            ScriptStep(1, C.Close(3))]
+
+
+def _case_path(case: str,
+               rng: random.Random) -> Tuple[List[ScriptItem], str]:
+    """``(precondition items, path)`` engineering the case's situation."""
+    name = rng.choice(("a", "b", "c"))
+    slash = "/" if "trailing_slash" in case else ""
+    if "noent" in case or "none" in case:
+        return [], f"nx{name}{slash}"
+    if "resolution" in case or "intermediate" in case \
+            or "not_dir" in case:
+        return _mkfile("rf"), f"rf/{name}"
+    if "loop" in case:
+        return [ScriptStep(1, C.Symlink("l2", "l1")),
+                ScriptStep(1, C.Symlink("l1", "l2"))], "l1"
+    if "dangling" in case:
+        return [ScriptStep(1, C.Symlink("nxt", "dl"))], "dl" + slash
+    if "symlink" in case:
+        return _mkfile("a") + [ScriptStep(1, C.Symlink("a", "s"))], \
+            "s" + slash
+    if "dir" in case:  # is_dir, success_dir, dir_* ...
+        return [ScriptStep(1, C.Mkdir("d", 0o755))], "d" + slash
+    if "exists" in case:
+        return _mkfile("e"), "e" + slash
+    if "success" in case or "own" in case:
+        return _mkfile(name), name + slash
+    return [], _random_path(rng) + slash
+
+
+def _path_command(op: str, path: str,
+                  rng: random.Random) -> Optional[C.OsCommand]:
+    if op == "mkdir":
+        return C.Mkdir(path, rng.choice(MODES))
+    if op == "rmdir":
+        return C.Rmdir(path)
+    if op == "unlink":
+        return C.Unlink(path)
+    if op == "open":
+        return C.Open(path, _random_flags(rng), rng.choice(MODES))
+    if op == "opendir":
+        return C.Opendir(path)
+    if op == "stat":
+        return C.StatCmd(path)
+    if op == "lstat":
+        return C.LstatCmd(path)
+    if op == "readlink":
+        return C.Readlink(path)
+    if op == "truncate":
+        return C.Truncate(path, rng.choice((-3, 0, 7, 70_000)))
+    if op == "chmod":
+        return C.Chmod(path, rng.choice(MODES))
+    if op == "chown":
+        return C.Chown(path, rng.choice((0, 1000)),
+                       rng.choice((0, 1000)))
+    if op == "chdir":
+        return C.Chdir(path)
+    if op == "symlink":
+        return C.Symlink(_random_path(rng), path)
+    return None
+
+
+def _two_path_command(op: str, case: str, path: str,
+                      rng: random.Random) -> List[ScriptItem]:
+    """link/rename: the case names which side (src_/dst_) is special."""
+    ctor = C.Link if op == "link" else C.Rename
+    if case.startswith("dst"):
+        return _mkfile("sf") + [ScriptStep(1, ctor("sf", path))]
+    return [ScriptStep(1, ctor(path, _random_path(rng)))]
+
+
+def _fd_fragment(op: str, case: str,
+                 rng: random.Random) -> List[ScriptItem]:
+    """read/write/pread/pwrite/lseek/close and the dirop handles."""
+    if op in ("readdir", "rewinddir", "closedir"):
+        dh = 37 if "bad" in case else 1
+        cmd = {"readdir": C.Readdir, "rewinddir": C.Rewinddir,
+               "closedir": C.Closedir}[op](dh)
+        return ([] if "bad" in case
+                else [ScriptStep(1, C.Mkdir("dd", 0o755)),
+                      ScriptStep(1, C.Opendir("dd"))]) + \
+            [ScriptStep(1, cmd)]
+    fd = 37 if "bad" in case else 3
+    offset = -rng.randint(1, 9) if "negative" in case \
+        else rng.randint(0, 80)
+    data = LONG_DATA if "partial" in case else rng.choice(tuple(DATA))
+    count = 100 if "partial" in case else rng.randint(0, 32)
+    cmd: Optional[C.OsCommand] = None
+    if op == "read":
+        cmd = C.Read(fd, count)
+    elif op == "write":
+        cmd = C.Write(fd, data)
+    elif op == "pread":
+        cmd = C.Pread(fd, count, offset)
+    elif op == "pwrite":
+        cmd = C.Pwrite(fd, data, offset)
+    elif op == "lseek":
+        cmd = C.Lseek(fd, rng.randint(-8, 40),
+                      rng.choice(list(SeekWhence)))
+    elif op == "close":
+        cmd = C.Close(fd)
+    if cmd is None:
+        return [ScriptStep(1, _random_command(rng))]
+    prefix = [] if "bad" in case else [
+        ScriptStep(1, C.Open("io", OpenFlag.O_CREAT | OpenFlag.O_RDWR,
+                             0o644)),
+        ScriptStep(1, C.Write(3, LONG_DATA))]
+    return prefix + [ScriptStep(1, cmd)]
+
+
+def _perm_fragment(op: str, case: str,
+                   rng: random.Random) -> List[ScriptItem]:
+    """Permission cases need an unprivileged second process."""
+    inner = _path_command(op, "pd/t", rng) or C.Open(
+        "pd/t", OpenFlag.O_RDONLY, 0o644)
+    mode = 0o755 if "not_owner" in case or "not_permitted" in case \
+        else rng.choice((0o000, 0o600))
+    return [ScriptStep(1, C.Mkdir("pd", 0o755)),
+            ScriptStep(1, C.Chmod("pd", mode)),
+            CreateEvent(pid=9, uid=1000, gid=1000),
+            ScriptStep(9, inner),
+            DestroyEvent(pid=9)]
+
+
+_PERM_KEYWORDS = ("permission", "not_owner", "not_permitted",
+                  "not_writable", "not_readable", "access")
+_FD_OPS = ("read", "write", "pread", "pwrite", "lseek", "close",
+           "readdir", "rewinddir", "closedir")
+
+
+def _t_dirops(rng: random.Random) -> List[ScriptItem]:
+    """The directory-stream protocol end to end (dirops.* clauses)."""
+    return [ScriptStep(1, C.Mkdir("dd", 0o755))] + _mkfile("dd/x") + [
+        ScriptStep(1, C.Opendir("dd")),
+        ScriptStep(1, C.Readdir(1)),
+        ScriptStep(1, C.Unlink("dd/x")),
+        ScriptStep(1, C.Readdir(1)),
+        ScriptStep(1, C.Rewinddir(1)),
+        ScriptStep(1, C.Readdir(1)),
+        ScriptStep(1, C.Closedir(1))]
+
+
+def template_for(clause: str,
+                 rng: random.Random) -> List[ScriptItem]:
+    """A script fragment engineered toward ``clause``."""
+    parts = clause.split(".")
+    family, rest = parts[0], parts[1:]
+    if family == "dirops":
+        return _t_dirops(rng)
+    if family == "pathres":
+        case = ".".join(rest)
+        prefix, path = _case_path(case or "symlink", rng)
+        op = rng.choice(("stat", "open", "mkdir", "unlink", "opendir"))
+        if any(k in case for k in _PERM_KEYWORDS):
+            return _perm_fragment(op, case, rng)
+        cmd = _path_command(op, path, rng)
+        return prefix + [ScriptStep(1, cmd)] if cmd else prefix
+    if family in ("fsop", "osapi") and rest:
+        op, case = rest[0], ".".join(rest[1:])
+        if "nospc" in case:
+            return _mkfile("big") + [
+                ScriptStep(1, C.Truncate("big", 200_000))]
+        if op in _FD_OPS:
+            return _fd_fragment(op, case, rng)
+        if any(k in case for k in _PERM_KEYWORDS):
+            return _perm_fragment(op, case, rng)
+        if op in ("link", "rename"):
+            prefix, path = _case_path(case, rng)
+            return prefix + _two_path_command(op, case, path, rng)
+        prefix, path = _case_path(case, rng)
+        cmd = _path_command(op, path, rng)
+        if cmd is not None:
+            return prefix + [ScriptStep(1, cmd)]
+    return [ScriptStep(1, _random_command(rng))]
+
+
+def insert(script: Script, rng: random.Random,
+           rare_clauses: Sequence[str] = ()) -> Script:
+    """Insert a rare-clause template fragment at a random point."""
+    if rare_clauses:
+        fragment = template_for(rng.choice(list(rare_clauses)), rng)
+    else:
+        fragment = [ScriptStep(1, _random_command(rng))]
+    index = rng.randint(0, len(script.items))
+    items = list(script.items)
+    items[index:index] = fragment
+    return Script(name=script.name, items=sanitize(items))
+
+
+def probe(rng: random.Random, rare_clauses: Sequence[str],
+          name: str, fragments: int = 4) -> Script:
+    """A from-scratch frontier probe: several rare-clause fragments
+    concatenated (the dictionary-script move — no parent, pure
+    frontier chasing; the corpus only keeps it if it lands)."""
+    clauses = list(rare_clauses)
+    picks = (rng.sample(clauses, min(fragments, len(clauses)))
+             if clauses else [])
+    items: List[ScriptItem] = []
+    for clause in picks:
+        items.extend(template_for(clause, rng))
+    if not items:
+        items = [ScriptStep(1, _random_command(rng))
+                 for _ in range(4)]
+    return Script(name=name, items=sanitize(items))
+
+
+#: The operator table the loop draws from: ``(name, weight)``.
+#: ``extend`` dominates because it preserves the parent prefix (cache
+#: hits) and monotonically grows behaviour; ``insert`` is the targeted
+#: coverage-seeking move.
+OPERATOR_WEIGHTS: Tuple[Tuple[str, int], ...] = (
+    ("extend", 3), ("insert", 5), ("perturb", 2), ("splice", 2),
+    ("drop", 1),
+)
+
+
+def mutate(script: Script, rng: random.Random, *,
+           mate: Optional[Script] = None,
+           rare_clauses: Sequence[str] = (),
+           name: Optional[str] = None) -> Script:
+    """One weighted-random mutation of ``script``.
+
+    ``mate`` enables ``splice``; ``rare_clauses`` steers ``insert``.
+    The mutant keeps the parent's name unless ``name`` is given (the
+    loop stamps deterministic ``fuzz___…`` names).
+    """
+    names = [n for n, _ in OPERATOR_WEIGHTS
+             if n != "splice" or mate is not None]
+    weights = [w for n, w in OPERATOR_WEIGHTS
+               if n != "splice" or mate is not None]
+    op = rng.choices(names, weights=weights, k=1)[0]
+    if op == "extend":
+        out = extend(script, rng)
+    elif op == "insert":
+        out = insert(script, rng, rare_clauses)
+    elif op == "perturb":
+        out = perturb(script, rng)
+    elif op == "splice":
+        out = splice(script, mate, rng)
+    else:
+        out = drop(script, rng)
+    if name is not None:
+        out = Script(name=name, items=out.items)
+    return out

@@ -1,0 +1,64 @@
+"""The ``fuzz`` campaign-store view: corpus + frontier, incrementally.
+
+Registered through :func:`repro.store.register_view` when
+:mod:`repro.fuzz` is imported (the view-plugin mechanism: the store
+core knows nothing about fuzzing).  The fold keeps, per partition, the
+corpus size and verdict-signal counts, plus the global covered-clause
+union; :meth:`FuzzView.result` joins that union against the coverage
+registry's reachable universe to yield the per-platform *frontier* —
+the reachable-but-unhit clauses the next fuzzing session should chase.
+Because the state is a plain fold over trace records, ``repro fuzz
+--store`` resumes exactly where the checkpoint left off, and ``repro
+campaign view fuzz`` works on any store, fuzzed or not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.coverage import REGISTRY
+from repro.core.platform import real_platforms
+from repro.store.records import TraceRecord
+from repro.store.views import View
+
+
+class FuzzView(View):
+    """Corpus statistics and the coverage frontier as an incremental
+    fold over campaign-store trace records."""
+
+    name = "fuzz"
+
+    def initial(self) -> dict:
+        return {"partitions": {}, "clauses": [], "records": 0}
+
+    def fold(self, state: dict, record: TraceRecord) -> None:
+        state["records"] += 1
+        row = state["partitions"].setdefault(
+            record.partition,
+            {"scripts": 0, "divergent": 0, "deviating": 0,
+             "with_coverage": 0})
+        row["scripts"] += 1
+        accepted = [bool(p.accepted) for p in record.profiles]
+        if any(not a for a in accepted):
+            row["deviating"] += 1
+            if any(accepted):
+                row["divergent"] += 1
+        if record.covered:
+            row["with_coverage"] += 1
+            merged = set(state["clauses"])
+            merged.update(record.covered)
+            state["clauses"] = sorted(merged)
+
+    def result(self, state: dict) -> dict:
+        covered = state["clauses"]
+        frontier: Dict[str, list] = REGISTRY.frontier(
+            covered, real_platforms())
+        return {
+            "records": state["records"],
+            "partitions": state["partitions"],
+            "covered_clauses": len(covered),
+            "covered": list(covered),
+            "frontier": frontier,
+            "frontier_sizes": {platform: len(clauses)
+                               for platform, clauses in frontier.items()},
+        }

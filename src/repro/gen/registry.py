@@ -39,6 +39,9 @@ from repro.testgen.generator import (gen_fd_tests, gen_handle_tests,
                                      gen_one_path_tests, gen_open_tests,
                                      gen_permission_tests,
                                      gen_two_path_tests)
+from repro.testgen.scenarios import (gen_crash_recovery_tests,
+                                     gen_fault_tests,
+                                     gen_interleaving_tests)
 
 
 class StrategyRegistry:
@@ -146,6 +149,21 @@ register(FunctionStrategy(
 register(FunctionStrategy(
     "handwritten", gen_handwritten_tests, tags=("handwritten",),
     estimate=24))
+# The scenario families (fault injection, crash/recovery prefixes,
+# multi-process interleavings) are selectable seeds for the fuzzer and
+# for explicit --plan runs; like `randomized` they stay out of the
+# default plan so the classic suite remains byte-identical.
+register(FunctionStrategy(
+    "fault", gen_fault_tests,
+    tags=("generated", "scenario", "fault"), estimate=14))
+register(FunctionStrategy(
+    "crash_recovery", gen_crash_recovery_tests,
+    tags=("generated", "scenario", "crash-recovery", "multi-process"),
+    estimate=9))
+register(FunctionStrategy(
+    "interleaving", gen_interleaving_tests,
+    tags=("generated", "scenario", "interleaving", "multi-process"),
+    estimate=7))
 register(RandomizedStrategy())
 
 

@@ -22,7 +22,8 @@ from repro.store.records import (MetaRecord, StoreRecord, TraceRecord,
                                  record_key)
 from repro.store.segment import StoreCorruption
 from repro.store.store import CampaignStore, Cursor
-from repro.store.views import VIEWS, portability_summary, render_survey
+from repro.store.views import (VIEWS, View, portability_summary,
+                               register_view, render_survey)
 
 __all__ = [
     "CampaignStore",
@@ -32,8 +33,10 @@ __all__ = [
     "StoreRecord",
     "TraceRecord",
     "VIEWS",
+    "View",
     "portability_summary",
     "record_key",
+    "register_view",
     "render_dashboard",
     "render_survey",
 ]

@@ -175,12 +175,35 @@ class CoverageView(View):
         return tuple(state["clauses"])
 
 
-#: The built-in views, by name (what ``CampaignStore.view`` resolves).
-VIEWS: Dict[str, View] = {
-    view.name: view
-    for view in (MergeView(), SurveyView(), PortabilityView(),
-                 CoverageView())
-}
+#: The registered views, by name (what ``CampaignStore.view`` resolves).
+#: Built-ins register at import time; plugins (e.g. the fuzzer's
+#: ``fuzz`` view, registered when :mod:`repro.fuzz` is imported) join
+#: through :func:`register_view`, mirroring the generation-strategy
+#: registry.
+VIEWS: Dict[str, View] = {}
+
+
+def register_view(view: View, replace: bool = False) -> View:
+    """Register an incremental view; refuses silent clobbering.
+
+    The checkpoint file is keyed by the view's name, so replacing a
+    view definition mid-campaign reuses (and keeps folding) the old
+    checkpointed state — a replacement must keep its state shape
+    compatible or ship under a new name.
+    """
+    if not view.name:
+        raise ValueError("view has no name")
+    if view.name in VIEWS and not replace:
+        raise ValueError(f"view {view.name!r} is already registered "
+                         "(pass replace=True to override)")
+    VIEWS[view.name] = view
+    return view
+
+
+for _view in (MergeView(), SurveyView(), PortabilityView(),
+              CoverageView()):
+    register_view(_view)
+del _view
 
 
 def render_survey(survey: dict) -> str:

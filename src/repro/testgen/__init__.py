@@ -34,6 +34,9 @@ from repro.testgen.generator import (gen_fd_tests, gen_handle_tests,
                                      gen_permission_tests,
                                      gen_two_path_tests)
 from repro.testgen.randomized import random_script, random_suite
+from repro.testgen.scenarios import (gen_crash_recovery_tests,
+                                     gen_fault_tests,
+                                     gen_interleaving_tests)
 from repro.testgen.suite import (SuiteSummary, generate_suite,
                                  suite_summary, summarize)
 
@@ -44,6 +47,8 @@ __all__ = [
     "gen_one_path_tests", "gen_two_path_tests", "gen_open_tests",
     "gen_handwritten_tests",
     "gen_fd_tests", "gen_handle_tests", "gen_permission_tests",
+    "gen_fault_tests", "gen_crash_recovery_tests",
+    "gen_interleaving_tests",
     "random_script", "random_suite",
     "SuiteSummary", "generate_suite", "suite_summary", "summarize",
 ]

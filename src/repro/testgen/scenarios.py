@@ -1,0 +1,341 @@
+"""Scenario test families: faults, crash/recovery, interleavings.
+
+Three generator families beyond the paper's combinatorial suite, each
+targeting a modelled failure surface the equivalence-partitioning
+generators do not reach:
+
+* :func:`gen_fault_tests` — fault injection over the *modelled* fault
+  surface: ``ENOSPC`` via capacity-limited configurations (the posixovl
+  §7.3.5 configs model a 64 kB volume, with the rename link-count leak
+  eating into it), short reads/writes via the partial-I/O enumeration
+  (``osapi.read.partial`` / ``osapi.write.partial`` engage for
+  transfers above ``partial_io_bound``), and the signal-raising
+  negative-offset ``pwrite``/``pread`` paths.  ``EINTR`` is
+  deliberately *not* generated: the model excludes it (see
+  :mod:`repro.core.errors`) because from a modelling perspective it
+  could occur at any time; the closest modelled analogue — a process
+  killed mid-sequence — lives in the crash/recovery family.
+* :func:`gen_crash_recovery_tests` — a worker process runs a prefix of
+  a commit-style sequence (create temp, write, rename into place) and
+  is destroyed at every cut point; a fresh process then observes what
+  survived.  This is the script-level analogue of crash/recovery
+  testing: the "crash" is process destruction (the paper's own example
+  of its uncovered 2 %), recovery is the observer's view of durable
+  state.
+* :func:`gen_interleaving_tests` — multi-process schedules with dense
+  cross-process alternation on *shared* paths and independent fd
+  tables, including create/destroy mid-script.  Every call/return pair
+  tau-closes over the model's internal nondeterminism (partial I/O
+  keeps the state set wide), so alternating processes exercises the
+  pending-call machinery of :mod:`repro.osapi.transition` across
+  process switches.  (Trace-level *overlapping* CALL/RETURN schedules
+  — two calls pending at once — cannot be expressed as scripts; the
+  fuzzer's :func:`repro.fuzz.overlap_schedule` reorders executed
+  traces to drive that path through the checker.)
+
+Each family is registered in :mod:`repro.gen.registry` as a named
+strategy with an exact, test-enforced estimate, so the populations flow
+through plans, oracles, backends and the parity harness unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.script.ast import Script
+from repro.script.parser import parse_script
+
+
+def _script(name: str, lines: Sequence[str]) -> Script:
+    text = "\n".join(["@type script", f"# Test {name}"] + list(lines))
+    return parse_script(text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+#: A payload one byte past the default partial-I/O bound (64): writes
+#: and reads of this size force the short-transfer enumeration.
+_LONG = "x" * 65
+#: Well under the bound: the exhaustive small-transfer enumeration.
+_SHORT = "y" * 8
+
+
+def gen_fault_tests() -> List[Script]:
+    """Fault-injection scripts over the modelled fault surface."""
+    scripts = []
+
+    def seq(name: str, lines: List[str]) -> None:
+        scripts.append(_script(f"fault___{name}", lines))
+
+    # -- ENOSPC via the 64 kB capacity model (posixovl configs) ------------
+    # truncate charges its full length against capacity, so a handful
+    # of lines exhausts the volume without kilobyte string payloads.
+    seq("enospc_truncate_within", [
+        'open "f" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "f" 63000', 'stat "f"',
+    ])
+    seq("enospc_truncate_over", [
+        'open "f" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "f" 70000', 'stat "f"',
+    ])
+    seq("enospc_truncate_far_over", [
+        'open "f" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "f" 200000', 'stat "f"', 'truncate "f" 1',
+    ])
+    seq("enospc_fill_then_write", [
+        'open "f" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "f" 63990',
+        'open "f" [O_WRONLY;O_APPEND] 0o644',
+        f'write 3 "{_SHORT * 4}"', "close 3", 'stat "f"',
+    ])
+    seq("enospc_fill_then_create", [
+        'open "f" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "f" 64000',
+        'open "g" [O_CREAT;O_WRONLY] 0o644', 'stat "g"',
+    ])
+    # The §7.3.5 defect itself: rename displacing a destination leaks
+    # the displaced object's bytes forever, so volumes fill without any
+    # live data growing.
+    seq("enospc_rename_leak", [
+        'open "a" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "a" 30000',
+        'open "b" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "b" 30000',
+        'rename "a" "b"',
+        'truncate "b" 30000', 'stat "b"',
+    ])
+    seq("enospc_rename_leak_loop", [
+        'open "a" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "a" 20000',
+        'open "b" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "b" 20000',
+        'rename "a" "b"',
+        'open "a" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'truncate "a" 20000',
+        'rename "a" "b"',
+        'open "a" [O_CREAT;O_WRONLY] 0o644', 'stat "a"',
+    ])
+
+    # -- short (partial) reads and writes ----------------------------------
+    seq("partial_write_past_bound", [
+        'open "p" [O_CREAT;O_WRONLY] 0o644',
+        f'write 3 "{_LONG}"', "close 3", 'stat "p"',
+    ])
+    seq("partial_write_at_bound", [
+        'open "p" [O_CREAT;O_WRONLY] 0o644',
+        f'write 3 "{"w" * 64}"', "close 3", 'stat "p"',
+    ])
+    seq("partial_read_past_bound", [
+        'open "p" [O_CREAT;O_RDWR] 0o644',
+        f'write 3 "{_LONG}"',
+        "lseek 3 0 SEEK_SET", "read 3 100", "close 3",
+    ])
+    seq("partial_pwrite_pread", [
+        'open "p" [O_CREAT;O_RDWR] 0o644',
+        f'pwrite 3 "{_LONG}" 0', "pread 3 100 0", "close 3",
+    ])
+    seq("partial_append_interleaved", [
+        'open "p" [O_CREAT;O_WRONLY;O_APPEND] 0o644',
+        f'write 3 "{_LONG}"', f'write 3 "{_SHORT}"',
+        "close 3", 'stat "p"',
+    ])
+
+    # -- signal-raising negative offsets (quirk configs kill the caller) ---
+    seq("pwrite_negative_offset", [
+        'open "s" [O_CREAT;O_RDWR] 0o644',
+        'pwrite 3 "z" -1', 'stat "s"',
+    ])
+    seq("pread_negative_offset", [
+        'open "s" [O_CREAT;O_RDWR] 0o644',
+        f'write 3 "{_SHORT}"', "pread 3 4 -1", "close 3",
+    ])
+    return scripts
+
+
+# ---------------------------------------------------------------------------
+# crash / recovery prefixes
+# ---------------------------------------------------------------------------
+
+#: The worker's commit protocol: stage a temp file, fill it, rename it
+#: into place.  Destroying the worker after step k is the "crash".
+_COMMIT_OPS = (
+    'p2: mkdir "stage" 0o755',
+    'p2: open "stage/tmp" [O_CREAT;O_WRONLY] 0o644',
+    f'p2: write 3 "{_SHORT}"',
+    f'p2: write 3 "{_LONG}"',
+    "p2: close 3",
+    'p2: rename "stage/tmp" "committed"',
+)
+
+#: What the survivor checks after the crash: durable names, sizes,
+#: directory contents — readable regardless of where the cut fell.
+_RECOVERY_OPS = (
+    'stat "committed"',
+    'stat "stage/tmp"',
+    'opendir "stage"', "readdir 1", "closedir 1",
+    'open "committed" [O_RDONLY] 0o644',
+    'unlink "stage/tmp"', 'rmdir "stage"',
+)
+
+
+def gen_crash_recovery_tests() -> List[Script]:
+    """Crash at every cut point of a commit sequence, then recover."""
+    scripts = []
+    create = "@process create p2 uid=1000 gid=1000"
+    for cut in range(1, len(_COMMIT_OPS) + 1):
+        lines = [create, *(_COMMIT_OPS[:cut]), "@process destroy p2",
+                 *_RECOVERY_OPS]
+        scripts.append(_script(f"crash___commit_cut{cut}", lines))
+    # Crash with a directory handle open: the handle dies with the
+    # process, and the survivor can remove the directory under it.
+    scripts.append(_script("crash___open_dir_handle", [
+        'mkdir "dd" 0o755',
+        'open "dd/e" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        create,
+        'p2: opendir "dd"', "p2: readdir 1",
+        "@process destroy p2",
+        'unlink "dd/e"', 'rmdir "dd"', 'stat "dd"',
+    ]))
+    # Crash mid-write with an inherited-looking fd layout, then a
+    # *second* worker (different credentials) re-runs the protocol over
+    # the debris the first one left.
+    scripts.append(_script("crash___second_worker_recovers", [
+        create,
+        'p2: mkdir "stage" 0o777',
+        'p2: open "stage/tmp" [O_CREAT;O_WRONLY] 0o666',
+        f'p2: write 3 "{_SHORT}"',
+        "@process destroy p2",
+        "@process create p3 uid=1001 gid=1001",
+        'p3: stat "stage/tmp"',
+        'p3: open "stage/tmp" [O_WRONLY;O_TRUNC] 0o666',
+        f'p3: write 3 "{_SHORT}"',
+        "p3: close 3",
+        'p3: rename "stage/tmp" "committed"',
+        "@process destroy p3",
+        'stat "committed"',
+    ]))
+    # Crash inside a directory that then disappears: the survivor's
+    # cleanup runs against the dead worker's cwd (Fig. 8 shape).
+    scripts.append(_script("crash___cwd_removed_under_worker", [
+        'mkdir "wd" 0o755',
+        create,
+        'p2: chdir "wd"',
+        'p2: open "local" [O_CREAT;O_WRONLY] 0o644',
+        "@process destroy p2",
+        'unlink "wd/local"', 'rmdir "wd"', 'stat "wd"',
+    ]))
+    return scripts
+
+
+# ---------------------------------------------------------------------------
+# multi-process interleavings
+# ---------------------------------------------------------------------------
+
+def gen_interleaving_tests() -> List[Script]:
+    """Dense cross-process schedules on shared paths and fds."""
+    scripts = []
+    p2 = "@process create p2 uid=0 gid=0"
+    p3 = "@process create p3 uid=1000 gid=1000"
+
+    # Two root processes racing a create/unlink cycle on one name:
+    # round-robin alternation, one libc call per turn.
+    ops1 = ('open "shared" [O_CREAT;O_WRONLY] 0o644', "close 3",
+            'unlink "shared"',
+            'open "shared" [O_CREAT;O_EXCL;O_WRONLY] 0o644', "close 3")
+    ops2 = ('p2: open "shared" [O_CREAT;O_WRONLY] 0o644',
+            'p2: stat "shared"', 'p2: unlink "shared"',
+            'p2: open "shared" [O_CREAT;O_EXCL;O_WRONLY] 0o644',
+            "p2: close 3")
+    lines = [p2]
+    for a, b in zip(ops1, ops2):
+        lines.extend((a, b))
+    scripts.append(_script("ilv___create_unlink_race", lines))
+
+    # Independent fd tables over one file: both processes hold fd 3 on
+    # the same path; writes past the partial-I/O bound keep the state
+    # set wide across every process switch.
+    scripts.append(_script("ilv___shared_file_partial_writes", [
+        p2,
+        'open "log" [O_CREAT;O_WRONLY] 0o644',
+        'p2: open "log" [O_WRONLY;O_APPEND] 0o644',
+        f'write 3 "{_LONG}"',
+        f'p2: write 3 "{_LONG}"',
+        f'write 3 "{_SHORT}"',
+        f'p2: write 3 "{_SHORT}"',
+        "close 3", "p2: close 3", 'stat "log"',
+    ]))
+
+    # Rename ping-pong: two processes move the same object back and
+    # forth while a third stats both names each round.
+    scripts.append(_script("ilv___rename_pingpong_observer", [
+        p2, p3,
+        'open "a" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'rename "a" "b"', 'p3: stat "a"', 'p3: stat "b"',
+        'p2: rename "b" "a"', 'p3: stat "a"', 'p3: stat "b"',
+        'rename "a" "b"', 'p2: rename "b" "a"',
+        'p3: stat "a"', 'p3: stat "b"',
+    ]))
+
+    # Directory iteration racing mutation from another process: the
+    # readdir stream sees (or misses) entries unlinked mid-iteration.
+    scripts.append(_script("ilv___readdir_vs_unlink", [
+        p2,
+        'mkdir "dd" 0o755',
+        'open "dd/a" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'open "dd/b" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'open "dd/c" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'opendir "dd"',
+        "readdir 1",
+        'p2: unlink "dd/b"',
+        "readdir 1",
+        'p2: open "dd/d" [O_CREAT;O_WRONLY] 0o644', "p2: close 3",
+        "readdir 1", "readdir 1", "closedir 1",
+    ]))
+
+    # Worker churn mid-schedule: processes are created and destroyed
+    # between other processes' calls, so the pid set itself interleaves.
+    scripts.append(_script("ilv___process_churn", [
+        'mkdir "box" 0o777',
+        p2,
+        'p2: open "box/two" [O_CREAT;O_WRONLY] 0o644',
+        p3,
+        'p3: stat "box/two"',
+        "@process destroy p2",
+        'p3: open "box/three" [O_CREAT;O_WRONLY] 0o644',
+        'stat "box/two"',
+        "@process destroy p3",
+        'opendir "box"', "readdir 1", "readdir 1", "closedir 1",
+    ]))
+
+    # Permission-asymmetric interleaving: an unprivileged process's
+    # calls interleave with root widening and narrowing the box mode.
+    scripts.append(_script("ilv___chmod_vs_access", [
+        p3,
+        'mkdir "box" 0o700',
+        'p3: open "box/f" [O_CREAT;O_WRONLY] 0o644',
+        'chmod "box" 0o777',
+        'p3: open "box/f" [O_CREAT;O_WRONLY] 0o644',
+        "p3: close 3",
+        'chmod "box" 0o000',
+        'p3: stat "box/f"',
+        'chmod "box" 0o755',
+        'p3: stat "box/f"',
+    ]))
+
+    # Interleaved cwd navigation: each process carries its own cwd
+    # through the other's mutations of the shared tree.
+    scripts.append(_script("ilv___chdir_split_views", [
+        p2,
+        'mkdir "r" 0o755', 'mkdir "r/s" 0o755',
+        'chdir "r"',
+        'p2: chdir "r/s"',
+        'open "here" [O_CREAT;O_WRONLY] 0o644', "close 3",
+        'p2: open "deep" [O_CREAT;O_WRONLY] 0o644', "p2: close 3",
+        'p2: stat "../here"',
+        'stat "s/deep"',
+        'p2: rename "../here" "moved"',
+        'stat "s/moved"', 'stat "here"',
+    ]))
+    return scripts

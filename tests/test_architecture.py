@@ -44,6 +44,10 @@ LAYERS = {
     "repro.service.pool": 11,
     "repro.api": 12,
     "repro.service": 13,
+    # The fuzzer drives whole Sessions (api) per iteration, so it sits
+    # above the facade, beside the service front door; the cli's
+    # ``fuzz`` verb is the only thing above it.
+    "repro.fuzz": 13,
     "repro.cli": 14,
 }
 
