@@ -34,6 +34,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
+from repro.analysis.dead import install_dead_clauses  # noqa: E402
 from repro.api import Session  # noqa: E402
 from repro.core.coverage import REGISTRY  # noqa: E402
 from repro.fuzz import run_fuzz  # noqa: E402
@@ -45,12 +46,22 @@ SMOKE_SHAPE = {"iterations": 3, "batch": 8}
 FULL_SHAPE = {"iterations": 8, "batch": 16}
 
 
+def reachable_universe(platforms):
+    """The honest denominator: clauses some checked platform could
+    actually hit — per-platform relevance minus the statically-dead
+    sets the analysis proves (install_dead_clauses ran first)."""
+    universe = set()
+    for platform in platforms:
+        universe |= REGISTRY.reachable_names(platform)
+    return universe
+
+
 def run_guided(seed: int, iterations: int, batch: int):
     """The guided loop; returns (budget, reachable clause hit-set)."""
     report = run_fuzz(CONFIG, iterations=iterations, batch=batch,
                       seed=seed)
     budget = sum(h["scripts"] for h in report.history)
-    covered = set(report.covered) & REGISTRY.reachable_names()
+    covered = set(report.covered) & reachable_universe(report.platforms)
     return budget, covered, report
 
 
@@ -60,7 +71,7 @@ def run_random(seed: int, budget: int, platforms):
     with Session(CONFIG, platforms[0], check_on=list(platforms[1:]),
                  suite=suite, collect_coverage=True) as session:
         covered = set(session.run().covered_clauses)
-    return covered & REGISTRY.reachable_names()
+    return covered & reachable_universe(platforms)
 
 
 def main(argv=None) -> int:
@@ -75,6 +86,7 @@ def main(argv=None) -> int:
                              f"{TARGET_RATIO}")
     args = parser.parse_args(argv)
 
+    install_dead_clauses()
     shape = SMOKE_SHAPE if args.smoke else FULL_SHAPE
     budget, guided, report = run_guided(args.seed, **shape)
     random_covered = run_random(args.seed, budget, report.platforms)
@@ -89,7 +101,10 @@ def main(argv=None) -> int:
         "iterations": shape["iterations"],
         "batch": shape["batch"],
         "trace_budget": budget,
-        "reachable_clauses": len(REGISTRY.reachable_names()),
+        "reachable_clauses": len(reachable_universe(report.platforms)),
+        "statically_dead": sorted(
+            set().union(*(REGISTRY.statically_dead(p)
+                          for p in report.platforms))),
         "guided_covered": len(guided),
         "random_covered": len(random_covered),
         "guided_only": sorted(guided - random_covered),

@@ -1,0 +1,42 @@
+"""Static analysis over the specification and the repo itself.
+
+Three independent analyses share this package:
+
+* :mod:`repro.analysis.dead` — dead-clause proving: extract the guard
+  conditions dominating every specification ``cover(...)`` site and
+  partially evaluate them against each :class:`PlatformSpec`, yielding
+  per-platform verdicts {statically-dead, reachable, unknown}.  The
+  dead sets install into :data:`repro.core.coverage.REGISTRY` so the
+  coverage denominator, ``repro coverage --uncovered`` and the fuzz
+  frontier stop counting clauses a platform's switches preclude.
+* :mod:`repro.analysis.absint` — a flow-sensitive abstract interpreter
+  over script ASTs (fd table bounds, created-name namespace, process
+  identity) classifying commands as well-formed vs *doomed* (provably
+  never returning ``Ok``); the fuzzer rejects doomed mutants before
+  paying for execution, and ``repro lint-script`` explains verdicts.
+* :mod:`repro.analysis.lint` — custom AST lints enforcing the repo's
+  hand-maintained invariants (layering, lock discipline, determinism,
+  pickle-safety, clause-name consistency), run as ``repro lint`` in CI.
+"""
+
+from repro.analysis.absint import (ScriptReport, StepVerdict,
+                                   classify_script, rejects)
+from repro.analysis.dead import (DeadClauseReport, dead_clause_report,
+                                 install_dead_clauses)
+from repro.analysis.lint import (Finding, LAYERS, layer_of, lint_paths,
+                                 render_findings)
+
+__all__ = [
+    "DeadClauseReport",
+    "dead_clause_report",
+    "install_dead_clauses",
+    "ScriptReport",
+    "StepVerdict",
+    "classify_script",
+    "rejects",
+    "Finding",
+    "LAYERS",
+    "layer_of",
+    "lint_paths",
+    "render_findings",
+]

@@ -1,0 +1,465 @@
+"""Dead-clause analysis: which coverage clauses can a platform hit?
+
+Every specification clause records a hit through a literal
+``cover("name")`` call inside the spec functions (:mod:`repro.fsops`,
+:mod:`repro.pathres.resolve`, :mod:`repro.osapi.transition`).  Whether
+such a site can execute at all depends partly on *static* facts: the
+:class:`~repro.core.platform.PlatformSpec` switches are frozen per
+checking pass, so a site dominated by ``spec.pwrite_append_ignores_-
+offset`` is unreachable on every platform where that switch is False —
+no trace can ever hit it, and counting it in the coverage denominator
+(or chasing it with the fuzzer's frontier probes) is wasted effort.
+
+The analysis is a two-step partial evaluation:
+
+1. **Guard extraction** walks each spec module's AST and collects, for
+   every ``cover(...)`` site, the conjunction of conditions dominating
+   it (``if``/``elif`` tests with polarity, ``assert`` tests, and the
+   negations of early-``return`` guards), together with a snapshot of
+   straight-line local bindings (for constant propagation through
+   ``behaviour = spec.link_on_symlink``-style locals).
+2. **Evaluation** resolves each conjunct against a concrete
+   :class:`PlatformSpec` and the module's import namespace using
+   three-valued logic: anything not statically known (runtime state,
+   ``isinstance`` dispatch, path contents) is *unknown*.
+
+A site is **dead** on a platform if any dominating conjunct evaluates
+to a known False; **reachable** if every conjunct is known True; else
+**unknown**.  A clause is dead iff all of its sites are dead.  Only
+soundness of *dead* matters downstream — unknown is the safe default,
+so the evaluator never guesses.
+
+:func:`install_dead_clauses` pushes the per-platform dead sets into
+:data:`repro.core.coverage.REGISTRY`; the registry then subtracts them
+from ``reachable_names``/``frontier``/``report_for``, which is what
+``repro coverage --uncovered``, ``repro fuzz`` and the guided-fuzzing
+bench all consume — one analysis, one shared source of truth.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.coverage import CoverageRegistry, REGISTRY
+from repro.core.platform import SPECS, PlatformSpec
+
+#: The modules containing specification clauses (every ``declare``/
+#: ``cover`` site in the tree lives in one of these).
+SPEC_MODULES: Tuple[str, ...] = (
+    "repro.pathres.resolve",
+    "repro.fsops.attr",
+    "repro.fsops.dirops",
+    "repro.fsops.link",
+    "repro.fsops.mkdir",
+    "repro.fsops.open_spec",
+    "repro.fsops.rename",
+    "repro.fsops.rmdir",
+    "repro.fsops.stat_ops",
+    "repro.fsops.symlink_ops",
+    "repro.fsops.truncate",
+    "repro.fsops.unlink",
+    "repro.osapi.transition",
+)
+
+DEAD = "dead"
+REACHABLE = "reachable"
+UNKNOWN = "unknown"
+
+#: Three-valued-logic bottom: "not statically known".
+_UNKNOWN = object()
+#: Constant-propagation tombstone for names assigned on some branch.
+_INVALID = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class CoverSite:
+    """One ``cover(name)`` call site with its dominating conditions."""
+
+    clause: str
+    module: str
+    lineno: int
+    #: ``(test expression, polarity)`` conjuncts; the site executes only
+    #: if every test evaluates to its polarity.
+    conds: Tuple[Tuple[ast.expr, bool], ...]
+    #: Straight-line local bindings visible at the site (name -> expr).
+    bindings: Dict[str, object]
+
+
+# ---------------------------------------------------------------------------
+# guard extraction
+# ---------------------------------------------------------------------------
+
+def _terminates(stmts: List[ast.stmt]) -> bool:
+    """Does every path through ``stmts`` leave the enclosing function?
+
+    Conservative: only ``return``/``raise`` (possibly behind an
+    exhaustive ``if``/``else``) count.  Used to turn an early-return
+    guard into a negated conjunct for the code that follows it.
+    """
+    if not stmts:
+        return False
+    last = stmts[-1]
+    if isinstance(last, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(last, ast.If):
+        return (_terminates(last.body) and last.orelse != []
+                and _terminates(last.orelse))
+    return False
+
+
+def _assigned_names(stmts: Iterable[ast.stmt]) -> set:
+    """Every local name any statement in ``stmts`` may (re)bind."""
+    names: set = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+    return names
+
+
+def _clause_of_call(node: ast.Call) -> Optional[str]:
+    """The literal clause name of a ``cover(...)``/``*.hit(...)`` call."""
+    func = node.func
+    named = (isinstance(func, ast.Name) and func.id == "cover") or (
+        isinstance(func, ast.Attribute) and func.attr == "hit")
+    if not named or not node.args:
+        return None
+    arg = node.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return None
+
+
+class _SiteCollector:
+    """Walks one module's statements collecting :class:`CoverSite`\\ s."""
+
+    def __init__(self, module: str):
+        self.module = module
+        self.sites: List[CoverSite] = []
+
+    def walk_module(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self._walk(node.body, [], {})
+
+    def _walk(self, stmts: List[ast.stmt],
+              conds: List[Tuple[ast.expr, bool]],
+              env: Dict[str, object]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, conds, env)
+
+    def _walk_stmt(self, stmt: ast.stmt,
+                   conds: List[Tuple[ast.expr, bool]],
+                   env: Dict[str, object]) -> None:
+        # Record cover() calls appearing anywhere inside this statement
+        # *except* under a nested If/loop/function, which recurse with
+        # refined conditions below.
+        if isinstance(stmt, (ast.Expr, ast.Return, ast.Assign,
+                             ast.AugAssign, ast.AnnAssign)):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    clause = _clause_of_call(node)
+                    if clause is not None:
+                        self.sites.append(CoverSite(
+                            clause=clause, module=self.module,
+                            lineno=node.lineno, conds=tuple(conds),
+                            bindings=dict(env)))
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0],
+                                                     ast.Name):
+                env[stmt.targets[0].id] = stmt.value
+            else:
+                for name in _assigned_names([stmt]):
+                    env[name] = _INVALID
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            for name in _assigned_names([stmt]):
+                env[name] = _INVALID
+        elif isinstance(stmt, ast.Assert):
+            conds.append((stmt.test, True))
+        elif isinstance(stmt, ast.If):
+            self._walk(stmt.body, conds + [(stmt.test, True)],
+                       dict(env))
+            self._walk(stmt.orelse, conds + [(stmt.test, False)],
+                       dict(env))
+            # Early-return guards constrain the continuation; branches
+            # that merge back invalidate whatever they may rebind.
+            if _terminates(stmt.body):
+                conds.append((stmt.test, False))
+            elif stmt.orelse and _terminates(stmt.orelse):
+                conds.append((stmt.test, True))
+            for name in _assigned_names(stmt.body + stmt.orelse):
+                env[name] = _INVALID
+        elif isinstance(stmt, ast.While):
+            body_conds = conds + [(stmt.test, True)]
+            self._loop_body(stmt.body, body_conds, env)
+            self._walk(stmt.orelse, list(conds), dict(env))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._loop_body(stmt.body, list(conds), env)
+            self._walk(stmt.orelse, list(conds), dict(env))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk(stmt.body, conds, env)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body, list(conds), dict(env))
+            poisoned = dict(env)
+            for name in _assigned_names(stmt.body):
+                poisoned[name] = _INVALID
+            for handler in stmt.handlers:
+                self._walk(handler.body, list(conds), dict(poisoned))
+            self._walk(stmt.orelse, list(conds), dict(env))
+            self._walk(stmt.finalbody, list(conds), dict(poisoned))
+            for name in _assigned_names([stmt]):
+                env[name] = _INVALID
+        elif isinstance(stmt, ast.FunctionDef):
+            # A closure only exists if its def executed, so the def-site
+            # conditions dominate every call.  Its parameters shadow.
+            inner = dict(env)
+            for arg in (stmt.args.args + stmt.args.posonlyargs
+                        + stmt.args.kwonlyargs):
+                inner[arg.arg] = _INVALID
+            self._walk(stmt.body, list(conds), inner)
+            env[stmt.name] = _INVALID
+
+    def _loop_body(self, body: List[ast.stmt],
+                   conds: List[Tuple[ast.expr, bool]],
+                   env: Dict[str, object]) -> None:
+        inner = dict(env)
+        for name in _assigned_names(body):
+            inner[name] = _INVALID
+        self._walk(body, conds, inner)
+        for name in _assigned_names(body):
+            env[name] = _INVALID
+
+
+# ---------------------------------------------------------------------------
+# partial evaluation against one PlatformSpec
+# ---------------------------------------------------------------------------
+
+#: Functions whose calls may be statically evaluated.  Everything else
+#: (isinstance, len, resolution results...) is runtime state: unknown.
+_PURE_BUILTINS = ("bool",)
+
+_MAX_DEPTH = 12
+
+
+def _eval(expr, spec: PlatformSpec, ns: dict,
+          env: Dict[str, object], depth: int = 0):
+    """Evaluate ``expr`` to a value or :data:`_UNKNOWN` (three-valued)."""
+    if depth > _MAX_DEPTH or expr is _INVALID or expr is None:
+        return _UNKNOWN
+    if isinstance(expr, ast.Constant):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if expr.id == "spec":
+            return spec
+        if expr.id in env:
+            return _eval(env[expr.id], spec, ns, env, depth + 1)
+        if expr.id in ns:
+            return ns[expr.id]
+        return _UNKNOWN
+    if isinstance(expr, ast.Attribute):
+        base = _eval(expr.value, spec, ns, env, depth + 1)
+        if base is _UNKNOWN:
+            return _UNKNOWN
+        try:
+            return getattr(base, expr.attr)
+        except AttributeError:
+            return _UNKNOWN
+    if isinstance(expr, ast.BoolOp):
+        values = [_eval(v, spec, ns, env, depth + 1)
+                  for v in expr.values]
+        if isinstance(expr.op, ast.And):
+            if any(v is not _UNKNOWN and not v for v in values):
+                return False
+            if all(v is not _UNKNOWN for v in values):
+                return values[-1]
+            return _UNKNOWN
+        if any(v is not _UNKNOWN and v for v in values):
+            return True
+        if all(v is not _UNKNOWN for v in values):
+            return values[-1]
+        return _UNKNOWN
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        value = _eval(expr.operand, spec, ns, env, depth + 1)
+        return _UNKNOWN if value is _UNKNOWN else not value
+    if isinstance(expr, ast.Compare) and len(expr.ops) == 1:
+        left = _eval(expr.left, spec, ns, env, depth + 1)
+        right = _eval(expr.comparators[0], spec, ns, env, depth + 1)
+        if left is _UNKNOWN or right is _UNKNOWN:
+            return _UNKNOWN
+        op = expr.ops[0]
+        try:
+            if isinstance(op, ast.Is):
+                return left is right
+            if isinstance(op, ast.IsNot):
+                return left is not right
+            if isinstance(op, ast.Eq):
+                return left == right
+            if isinstance(op, ast.NotEq):
+                return left != right
+            if isinstance(op, ast.Lt):
+                return left < right
+            if isinstance(op, ast.LtE):
+                return left <= right
+            if isinstance(op, ast.Gt):
+                return left > right
+            if isinstance(op, ast.GtE):
+                return left >= right
+            if isinstance(op, ast.In):
+                return left in right
+            if isinstance(op, ast.NotIn):
+                return left not in right
+        except TypeError:
+            return _UNKNOWN
+        return _UNKNOWN
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in _PURE_BUILTINS \
+                and len(expr.args) == 1:
+            value = _eval(expr.args[0], spec, ns, env, depth + 1)
+            return _UNKNOWN if value is _UNKNOWN else bool(value)
+        if isinstance(func, ast.Attribute) and func.attr == "allows":
+            base = _eval(func.value, spec, ns, env, depth + 1)
+            args = [_eval(a, spec, ns, env, depth + 1)
+                    for a in expr.args]
+            if isinstance(base, PlatformSpec) and all(
+                    isinstance(a, str) for a in args):
+                return base.allows(*args)
+        return _UNKNOWN
+    if isinstance(expr, ast.BinOp):
+        left = _eval(expr.left, spec, ns, env, depth + 1)
+        right = _eval(expr.right, spec, ns, env, depth + 1)
+        if left is _UNKNOWN or right is _UNKNOWN:
+            return _UNKNOWN
+        try:
+            if isinstance(expr.op, ast.BitAnd):
+                return left & right
+            if isinstance(expr.op, ast.BitOr):
+                return left | right
+        except TypeError:
+            return _UNKNOWN
+        return _UNKNOWN
+    return _UNKNOWN
+
+
+def _site_verdict(site: CoverSite, spec: PlatformSpec,
+                  ns: dict) -> str:
+    unknown = False
+    for test, polarity in site.conds:
+        value = _eval(test, spec, ns, site.bindings)
+        if value is _UNKNOWN:
+            unknown = True
+        elif bool(value) != polarity:
+            return DEAD
+    return UNKNOWN if unknown else REACHABLE
+
+
+# ---------------------------------------------------------------------------
+# the report
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class DeadClauseReport:
+    """Per-platform clause verdicts plus the underlying sites."""
+
+    #: platform -> clause -> {dead, reachable, unknown}.
+    verdicts: Dict[str, Dict[str, str]]
+    sites: Tuple[CoverSite, ...]
+
+    def dead(self, platform: str) -> FrozenSet[str]:
+        return frozenset(name for name, v in
+                         self.verdicts[platform].items() if v == DEAD)
+
+    def dead_by_platform(self) -> Dict[str, FrozenSet[str]]:
+        return {platform: self.dead(platform)
+                for platform in self.verdicts}
+
+    def sites_for(self, clause: str) -> List[CoverSite]:
+        return [site for site in self.sites if site.clause == clause]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the CI dead-clause artifact)."""
+        platforms = {}
+        for platform, clauses in sorted(self.verdicts.items()):
+            platforms[platform] = {
+                DEAD: sorted(n for n, v in clauses.items()
+                             if v == DEAD),
+                REACHABLE: sorted(n for n, v in clauses.items()
+                                  if v == REACHABLE),
+                UNKNOWN: sorted(n for n, v in clauses.items()
+                                if v == UNKNOWN),
+            }
+        return {"platforms": platforms,
+                "clauses": len(next(iter(self.verdicts.values()), {})),
+                "sites": len(self.sites)}
+
+
+def _collect_sites() -> Tuple[Tuple[CoverSite, ...], Dict[str, dict]]:
+    """Parse every spec module; returns (sites, module namespaces)."""
+    sites: List[CoverSite] = []
+    namespaces: Dict[str, dict] = {}
+    for modname in SPEC_MODULES:
+        module = importlib.import_module(modname)
+        namespaces[modname] = vars(module)
+        source_path = module.__file__
+        assert source_path is not None
+        with open(source_path, "r") as handle:
+            tree = ast.parse(handle.read())
+        collector = _SiteCollector(modname)
+        collector.walk_module(tree)
+        sites.extend(collector.sites)
+    return tuple(sites), namespaces
+
+
+def analyze(platforms: Optional[Iterable[str]] = None
+            ) -> DeadClauseReport:
+    """Run the analysis for the named platforms (default: all specs)."""
+    names = list(platforms) if platforms is not None else sorted(SPECS)
+    sites, namespaces = _collect_sites()
+    verdicts: Dict[str, Dict[str, str]] = {}
+    for platform in names:
+        spec = SPECS[platform]
+        clause_verdicts: Dict[str, str] = {}
+        for site in sites:
+            verdict = _site_verdict(site, spec,
+                                    namespaces[site.module])
+            prior = clause_verdicts.get(site.clause)
+            if prior is None:
+                clause_verdicts[site.clause] = verdict
+            elif REACHABLE in (prior, verdict):
+                clause_verdicts[site.clause] = REACHABLE
+            elif UNKNOWN in (prior, verdict):
+                clause_verdicts[site.clause] = UNKNOWN
+        verdicts[platform] = clause_verdicts
+    return DeadClauseReport(verdicts=verdicts, sites=sites)
+
+
+_REPORT: Optional[DeadClauseReport] = None
+
+
+def dead_clause_report() -> DeadClauseReport:
+    """The all-platform report, computed once per process (the spec
+    sources cannot change underneath a running checker)."""
+    global _REPORT
+    if _REPORT is None:
+        _REPORT = analyze()
+    return _REPORT
+
+
+def install_dead_clauses(registry: CoverageRegistry = REGISTRY
+                         ) -> DeadClauseReport:
+    """Install the per-platform statically-dead sets into ``registry``.
+
+    Idempotent; every consumer that computes a coverage denominator or
+    frontier (``repro coverage``, ``repro fuzz``, the guided-fuzzing
+    bench) calls this first so their views agree bit-for-bit.
+    """
+    report = dead_clause_report()
+    registry.install_static_dead(report.dead_by_platform())
+    return report

@@ -54,6 +54,7 @@ for CI).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -335,7 +336,12 @@ def _cmd_survey(args) -> int:
 
 
 def _cmd_coverage(args) -> int:
+    from repro.analysis.dead import install_dead_clauses
     from repro.core.coverage import REGISTRY as COVERAGE
+
+    # Same dead-clause view as the fuzz loop: frontier and denominator
+    # exclude clauses a platform's spec switches statically preclude.
+    install_dead_clauses()
 
     with make_backend(args.processes, chunksize=args.chunksize,
                       backend=args.backend,
@@ -349,20 +355,28 @@ def _cmd_coverage(args) -> int:
     # coverage-guided campaign (repro fuzz) chases.
     frontier = COVERAGE.frontier(artifact.covered_clauses,
                                  sorted(SPECS))
+    dead_by_platform = {platform: sorted(COVERAGE.statically_dead(
+        platform)) for platform in sorted(SPECS)}
     if args.json:
         payload = report.to_dict()
         payload["config"] = session.quirks.name
         payload["model"] = session.model
         payload["uncovered_by_platform"] = frontier
+        payload["dead_by_platform"] = dead_by_platform
         pathlib.Path(args.json).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"coverage JSON written to {args.json}")
         if not args.uncovered:
             return 0
     if args.uncovered:
+        # Dead clauses are annotated (commented), not listed as gaps:
+        # they are provably not reachable on that platform, so no
+        # campaign should chase them.
         for platform in sorted(frontier):
             for clause in frontier[platform]:
                 print(f"{platform} {clause}")
+            for clause in dead_by_platform[platform]:
+                print(f"# {platform} {clause} (statically dead)")
         return 0
     print(report.render())
     return 0
@@ -409,6 +423,42 @@ def _cmd_fuzz(args) -> int:
             report.to_json() + "\n")
         print(f"fuzz report JSON written to {args.frontier_json}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Static analysis over the repo: invariant lints + dead clauses."""
+    from repro.analysis.dead import dead_clause_report
+    from repro.analysis.lint import lint_paths, render_findings
+
+    findings = lint_paths(args.paths,
+                          rules=args.rules.split(",")
+                          if args.rules else None)
+    if args.json:
+        payload = [dataclasses.asdict(f) for f in findings]
+        pathlib.Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"lint findings JSON written to {args.json}",
+              file=sys.stderr)
+    if args.dead_report:
+        report = dead_clause_report()
+        pathlib.Path(args.dead_report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"dead-clause report written to {args.dead_report}",
+              file=sys.stderr)
+    print(render_findings(findings))
+    return 1 if findings else 0
+
+
+def _cmd_lint_script(args) -> int:
+    """Explain the abstract interpreter's verdict for one script."""
+    from repro.analysis.absint import DOOMED, classify_script
+
+    quirks = config_by_name(args.config) if args.config else None
+    script = parse_script(_read(args.script))
+    report = classify_script(script, quirks=quirks)
+    print(report.render())
+    return 1 if report.verdict == DOOMED else 0
 
 
 def _cmd_plans(_args) -> int:
@@ -732,6 +782,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plans", help="list registered generation "
                                      "strategies with estimates")
     p.set_defaults(func=_cmd_plans)
+
+    p = sub.add_parser("lint", help="run the repo-invariant linter "
+                                    "(layering, lock discipline, "
+                                    "determinism, pickle-safety, "
+                                    "clause consistency)")
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint "
+                        "(default: src/repro)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule subset (default: all)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the findings as JSON")
+    p.add_argument("--dead-report", default=None, metavar="PATH",
+                   help="also write the per-platform dead-clause "
+                        "analysis as JSON")
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("lint-script",
+                       help="explain the abstract interpreter's "
+                            "well-formed/doomed verdict per step")
+    p.add_argument("script", help="script file (or - for stdin)")
+    p.add_argument("--config", default=None,
+                   help="sharpen verdicts with one configuration's "
+                        "quirks (e.g. a config failing every chmod)")
+    p.set_defaults(func=_cmd_lint_script)
 
     p = sub.add_parser("portability",
                        help="which platforms allow a trace?")

@@ -39,6 +39,9 @@ class CoverageRegistry:
         self._points: Dict[str, _Point] = {}
         self._lock = threading.Lock()
         self._enabled = True
+        #: platform -> clause names proven statically unreachable there
+        #: (installed by :func:`repro.analysis.dead.install_dead_clauses`).
+        self._static_dead: Dict[str, FrozenSet[str]] = {}
 
     def declare(self, name: str, *, reachable: bool = True,
                 platforms: Iterable[str] | None = None) -> str:
@@ -92,6 +95,39 @@ class CoverageRegistry:
         return frozenset(name for name, point in self._points.items()
                          if point.hits > 0)
 
+    def install_static_dead(
+            self, dead: Dict[str, Iterable[str]]) -> None:
+        """Install per-platform statically-dead clause sets.
+
+        Dead clauses leave the coverage denominator and the fuzz
+        frontier for their platform; :meth:`report_for` lists them
+        separately so reports can annotate rather than silently shrink.
+        Idempotent — re-installing the same analysis is a no-op.
+        """
+        with self._lock:
+            self._static_dead = {platform: frozenset(names)
+                                 for platform, names in dead.items()}
+
+    def statically_dead(self, platform: str | None = None
+                        ) -> FrozenSet[str]:
+        """Clauses proven unreachable on ``platform`` (with ``None``:
+        on *every* platform the analysis covered)."""
+        if platform is not None:
+            return self._static_dead.get(platform, frozenset())
+        sets = list(self._static_dead.values())
+        if not sets:
+            return frozenset()
+        common = sets[0]
+        for other in sets[1:]:
+            common = common & other
+        return common
+
+    def declarations(self) -> Dict[str, tuple]:
+        """Snapshot of declared points as ``name -> (reachable,
+        platforms)`` — the linter's clause-consistency input."""
+        return {name: (point.reachable, point.platforms)
+                for name, point in self._points.items()}
+
     # -- reporting -----------------------------------------------------------
     def report(self, platform: str | None = None) -> "CoverageReport":
         """Compute coverage, restricted to clauses relevant for a platform."""
@@ -106,12 +142,17 @@ class CoverageRegistry:
         can be reported without mutating this registry.
         """
         covered_set = set(covered)
+        dead_set = self.statically_dead(platform)
         relevant = []
+        dead = []
         for point in self._points.values():
             if not point.reachable:
                 continue
             if (platform is not None and point.platforms is not None
                     and platform not in point.platforms):
+                continue
+            if point.name in dead_set:
+                dead.append(point)
                 continue
             relevant.append(point)
         return CoverageReport(
@@ -120,16 +161,22 @@ class CoverageRegistry:
                            if p.name in covered_set),
             uncovered=sorted(p.name for p in relevant
                              if p.name not in covered_set),
+            dead=sorted(p.name for p in dead),
         )
 
     def reachable_names(self, platform: str | None = None
                         ) -> FrozenSet[str]:
         """Every declared clause that is reachable (and relevant for
         ``platform``, when given) — the coverage denominator, and the
-        universe the fuzzer's frontier is computed against."""
+        universe the fuzzer's frontier is computed against.
+
+        Clauses proven statically dead for the platform (see
+        :meth:`install_static_dead`) are excluded: they are not targets
+        a run could ever hit."""
+        dead_set = self.statically_dead(platform)
         names = []
         for point in self._points.values():
-            if not point.reachable:
+            if not point.reachable or point.name in dead_set:
                 continue
             if (platform is not None and point.platforms is not None
                     and platform not in point.platforms):
@@ -163,6 +210,9 @@ class CoverageReport:
     total: int
     covered: list
     uncovered: list
+    #: Clauses excluded from ``total`` because static analysis proved
+    #: them unreachable on the reported platform.
+    dead: list = dataclasses.field(default_factory=list)
 
     @property
     def fraction(self) -> float:
@@ -174,7 +224,8 @@ class CoverageReport:
         """JSON-ready form (the ``repro coverage --json`` row shape)."""
         return {"total": self.total, "fraction": self.fraction,
                 "covered": list(self.covered),
-                "uncovered": list(self.uncovered)}
+                "uncovered": list(self.uncovered),
+                "dead": list(self.dead)}
 
     def render(self) -> str:
         pct = 100.0 * self.fraction
@@ -183,6 +234,10 @@ class CoverageReport:
         if self.uncovered:
             lines.append("uncovered clauses:")
             lines.extend(f"  - {name}" for name in self.uncovered)
+        if self.dead:
+            lines.append("statically dead (excluded from the "
+                         "denominator):")
+            lines.extend(f"  # {name}" for name in self.dead)
         return "\n".join(lines)
 
 

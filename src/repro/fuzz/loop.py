@@ -123,6 +123,12 @@ def run_fuzz(config: Union[str, Quirks], *,
     ``progress(iteration, total_iterations, stats_dict)`` after each
     iteration.
     """
+    # Statically-dead clauses leave the frontier before the first
+    # iteration: probing them would be guaranteed-wasted energy, and
+    # the coverage reports must agree bit-for-bit with this view.
+    from repro.analysis.dead import install_dead_clauses
+    install_dead_clauses()
+
     quirks = (config if isinstance(config, Quirks)
               else config_by_name(config))
     if platforms is None:

@@ -395,17 +395,27 @@ def mutate(script: Script, rng: random.Random, *,
              if n != "splice" or mate is not None]
     weights = [w for n, w in OPERATOR_WEIGHTS
                if n != "splice" or mate is not None]
-    op = rng.choices(names, weights=weights, k=1)[0]
-    if op == "extend":
-        out = extend(script, rng)
-    elif op == "insert":
-        out = insert(script, rng, rare_clauses)
-    elif op == "perturb":
-        out = perturb(script, rng)
-    elif op == "splice":
-        out = splice(script, mate, rng)
-    else:
-        out = drop(script, rng)
+    from repro.analysis.absint import rejects
+
+    out = script
+    for _ in range(3):
+        op = rng.choices(names, weights=weights, k=1)[0]
+        if op == "extend":
+            out = extend(script, rng)
+        elif op == "insert":
+            out = insert(script, rng, rare_clauses)
+        elif op == "perturb":
+            out = perturb(script, rng)
+        elif op == "splice":
+            out = splice(script, mate, rng)
+        else:
+            out = drop(script, rng)
+        # Pre-execution triage: a mutant whose every call is provably
+        # doomed (abstract interpretation) would spend its whole trace
+        # budget on error paths — redraw, keeping the last attempt so
+        # mutation never stalls.
+        if not rejects(out):
+            break
     if name is not None:
         out = Script(name=name, items=out.items)
     return out

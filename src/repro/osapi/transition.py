@@ -59,7 +59,7 @@ declare("osapi.write.append_seeks_end")
 declare("osapi.write.partial")
 declare("osapi.pread.negative_offset")
 declare("osapi.pwrite.negative_offset")
-declare("osapi.pwrite.append_quirk", platforms=("linux", "posix"))
+declare("osapi.pwrite.append_quirk", platforms=("linux",))
 declare("osapi.lseek.bad_fd")
 declare("osapi.lseek.negative_result")
 declare("osapi.lseek.success")

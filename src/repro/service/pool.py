@@ -446,9 +446,9 @@ class ShardPool:
             in_qs, self._in_qs = self._in_qs, []
             out_q, self._out_q = self._out_q, None
             collector, self._collector = self._collector, None
-        for call in list(self._calls.values()):
+            calls, self._calls = dict(self._calls), {}
+        for call in calls.values():
             call._fail(RuntimeError("shard pool closed"))
-        self._calls = {}
         self._stop.set()
         if procs is None:
             return
@@ -640,12 +640,17 @@ class ShardPool:
                         "(see stderr for the cause)")
 
     def _break(self, reason: str) -> None:
-        self._broken = reason
-        for call in list(self._calls.values()):
+        # The failure callbacks run outside the lock: a call's waiter
+        # may re-enter pool accessors from another thread.
+        with self._lock:
+            self._broken = reason
+            calls = list(self._calls.values())
+        for call in calls:
             call._fail(RuntimeError(reason))
 
     def _retire_call(self, call: ShardCall) -> None:
-        self._calls.pop(call.call_id, None)
+        with self._lock:
+            self._calls.pop(call.call_id, None)
 
     # -- stats ----------------------------------------------------------------
 

@@ -19,6 +19,7 @@ h1, h2 { font-family: sans-serif; }
 .accepted { color: #2a7d2a; }
 .rejected { color: #b22222; font-weight: bold; }
 .muted { color: #777; }
+.dead { color: #999; text-decoration: line-through; }
 table { border-collapse: collapse; margin-bottom: 1.5em; }
 td, th { border: 1px solid #ccc; padding: 0.3em 0.8em;
          text-align: left; }
@@ -120,7 +121,30 @@ def _coverage_block(coverage: dict) -> list:
                  f"across {with_cov} of {records} records.</p>")
     parts.append("<p class='muted'>" + ", ".join(
         _esc(clause) for clause in clauses) + "</p>")
+    parts.extend(_dead_clause_lines())
     return parts
+
+
+def _dead_clause_lines() -> list:
+    """Statically-dead clauses, rendered distinctly from genuine
+    coverage gaps: these are proven unhittable, not work remaining."""
+    try:
+        from repro.analysis.dead import dead_clause_report
+        report = dead_clause_report()
+    except Exception:  # pragma: no cover - analysis unavailable
+        return []
+    by_clause: dict = {}
+    for platform in sorted(report.verdicts):
+        for clause in report.dead(platform):
+            by_clause.setdefault(clause, []).append(platform)
+    if not by_clause:
+        return []
+    items = ", ".join(
+        f"<span class='dead'>{_esc(clause)}</span> "
+        f"({_esc('/'.join(platforms))})"
+        for clause, platforms in sorted(by_clause.items()))
+    return [f"<p>{len(by_clause)} clause(s) statically dead on some "
+            f"platform (excluded from coverage gaps): {items}</p>"]
 
 
 def render_dashboard(title: str, *, survey: dict, merge: Sequence,

@@ -62,7 +62,7 @@ class MergeView(View):
         for profile in record.profiles:
             for dev in profile.deviations:
                 key = json.dumps([record.name, dev.kind, dev.observed,
-                                  list(dev.allowed)])
+                                  list(dev.allowed)], sort_keys=True)
                 labels = groups.setdefault(key, [])
                 if profile.platform not in labels:
                     labels.append(profile.platform)

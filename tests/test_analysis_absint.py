@@ -1,0 +1,265 @@
+"""Script abstract interpretation: verdicts and — crucially — soundness.
+
+*Doomed* is a proof: under the real executor, on clean and quirky
+configurations alike, a doomed step must never return ``Ok``.  The
+property test at the bottom executes seeded random scripts and fuzz
+mutants and checks every doomed call's concrete outcome against that
+claim.  *Well-formed* must cost nothing: ``sanitize`` never touches a
+well-formed script, and ``rejects`` never drops a script the
+handwritten parity suite checks cleanly.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.absint import (DOOMED, ILL_FORMED, WELL_FORMED,
+                                   classify_script, rejects)
+from repro.core import commands as C
+from repro.core.flags import OpenFlag, SeekWhence
+from repro.core.labels import OsCall, OsReturn
+from repro.core.values import Ok
+from repro.executor import execute_script
+from repro.fsimpl.configs import config_by_name
+from repro.fuzz import mutate, sanitize
+from repro.script.ast import (CreateEvent, DestroyEvent, Script,
+                              ScriptStep)
+from repro.testgen.generator import gen_handwritten_tests
+from repro.testgen.randomized import random_script
+
+
+def _script(*items):
+    return Script(name="t", items=tuple(items))
+
+
+def _step(cmd, pid=1):
+    return ScriptStep(pid=pid, cmd=cmd)
+
+
+def _verdict(*items):
+    return classify_script(_script(*items)).verdict
+
+
+# -- per-rule unit verdicts -------------------------------------------------
+
+def test_read_of_never_allocated_fd_is_doomed():
+    assert _verdict(_step(C.Read(fd=3, count=1))) == DOOMED
+    assert _verdict(_step(C.Close(fd=0))) == DOOMED
+
+
+def test_fd_bound_tracks_opens():
+    open_ok = _step(C.Open(path="/f", flags=OpenFlag.O_CREAT))
+    assert classify_script(_script(
+        open_ok, _step(C.Read(fd=3, count=1)))).verdict == WELL_FORMED
+    report = classify_script(_script(
+        open_ok, _step(C.Read(fd=4, count=1))))
+    assert report.steps[1].verdict == DOOMED
+    assert "fd 4" in report.steps[1].reason
+
+
+def test_destroy_resets_descriptor_bounds():
+    """A pid reused after destroy starts with a fresh descriptor table:
+    fd 3 from the first life is provably closed."""
+    items = (
+        CreateEvent(pid=2, uid=0, gid=0),
+        ScriptStep(pid=2, cmd=C.Open(path="/f", flags=OpenFlag.O_CREAT)),
+        DestroyEvent(pid=2),
+        ScriptStep(pid=2, cmd=C.Read(fd=3, count=1)),
+    )
+    report = classify_script(_script(*items))
+    assert report.steps[3].verdict == DOOMED
+
+
+def test_directory_handle_bounds():
+    assert _verdict(_step(C.Readdir(dh=1))) == DOOMED
+    mk = _step(C.Mkdir(path="/d", mode=0o755))
+    od = _step(C.Opendir(path="/d"))
+    assert classify_script(_script(
+        mk, od, _step(C.Readdir(dh=1)))).verdict == WELL_FORMED
+    assert classify_script(_script(
+        mk, od, _step(C.Readdir(dh=2)))).steps[2].verdict == DOOMED
+
+
+def test_negative_offset_count_and_seek_are_doomed():
+    op = _step(C.Open(path="/f", flags=OpenFlag.O_CREAT))
+    for bad in (C.Pread(fd=3, count=1, offset=-1),
+                C.Pwrite(fd=3, data=b"x", offset=-5),
+                C.Read(fd=3, count=-1),
+                C.Lseek(fd=3, offset=-1, whence=SeekWhence.SEEK_SET)):
+        report = classify_script(_script(op, _step(bad)))
+        assert report.steps[1].verdict == DOOMED, bad
+
+
+def test_zero_length_write_to_bad_fd_is_never_doomed():
+    """The zero-byte-write-to-bad-fd outcome is implementation-defined
+    (a kernel quirk can make it Ok(0)), so the analysis must not claim
+    doom for descriptor reasons."""
+    assert _verdict(_step(C.Write(fd=99, data=b""))) == WELL_FORMED
+    assert _verdict(_step(C.Pwrite(fd=99, data=b"", offset=0))) == \
+        WELL_FORMED
+    assert _verdict(_step(C.Write(fd=99, data=b"x"))) == DOOMED
+
+
+def test_path_limits_are_doomed():
+    assert _verdict(_step(C.StatCmd(path=""))) == DOOMED
+    assert _verdict(_step(C.StatCmd(path="/" + "a" * 5000))) == DOOMED
+    long_name = "b" * 300  # one component over NAME_MAX
+    assert _verdict(_step(C.Mkdir(path="/" + long_name,
+                                  mode=0o755))) == DOOMED
+
+
+def test_never_created_component_is_doomed():
+    assert _verdict(_step(C.StatCmd(path="/nope"))) == DOOMED
+    mk = _step(C.Mkdir(path="/nope", mode=0o755))
+    assert classify_script(_script(
+        mk, _step(C.StatCmd(path="/nope")))).verdict == WELL_FORMED
+    # Creation ops may name a fresh *final* component, but their
+    # intermediate directories must still exist.
+    assert _verdict(_step(C.Mkdir(path="/missing/child",
+                                  mode=0o755))) == DOOMED
+    # "." / ".." never doom: resolution follows parent pointers.
+    assert _verdict(_step(C.StatCmd(path="/.."))) == WELL_FORMED
+
+
+def test_symlink_target_is_stored_not_resolved():
+    assert _verdict(_step(C.Symlink(target="/never/created",
+                                    linkpath="/l"))) == WELL_FORMED
+
+
+def test_candidates_only_grow_from_undoomed_creations():
+    """A doomed mkdir definitely creates nothing, so its final
+    component must not whitelist later lookups."""
+    doomed_mk = _step(C.Mkdir(path="/missing/child", mode=0o755))
+    report = classify_script(_script(
+        doomed_mk, _step(C.StatCmd(path="/child"))))
+    assert [s.verdict for s in report.steps] == [DOOMED, DOOMED]
+
+
+def test_chmod_errno_quirk_dooms_every_chmod():
+    quirks = config_by_name("linux_hfsplus_trusty")
+    mk = _step(C.Mkdir(path="/d", mode=0o755))
+    script = _script(mk, _step(C.Chmod(path="/d", mode=0o700)))
+    assert classify_script(script).verdict == WELL_FORMED
+    report = classify_script(script, quirks=quirks)
+    assert report.steps[1].verdict == DOOMED
+    assert "chmod" in report.steps[1].reason
+
+
+def test_umask_is_never_doomed():
+    assert _verdict(_step(C.Umask(mask=0o022))) == WELL_FORMED
+
+
+# -- directive rules mirror fuzz.sanitize -----------------------------------
+
+def test_ill_formed_directives_match_sanitize():
+    cases = [
+        # duplicate create of a live pid
+        (CreateEvent(pid=2, uid=0, gid=0),
+         CreateEvent(pid=2, uid=0, gid=0)),
+        # destroy of a pid that was never live
+        (DestroyEvent(pid=7),),
+        # destroy of the root process
+        (CreateEvent(pid=2, uid=0, gid=0), DestroyEvent(pid=1)),
+    ]
+    for items in cases:
+        report = classify_script(_script(*items))
+        assert report.verdict == ILL_FORMED, items
+        assert tuple(sanitize(list(items))) != tuple(items), items
+
+
+def test_well_formed_scripts_survive_sanitize_unchanged():
+    items = (
+        CreateEvent(pid=2, uid=0, gid=0),
+        ScriptStep(pid=2, cmd=C.Mkdir(path="/d", mode=0o755)),
+        DestroyEvent(pid=2),
+        ScriptStep(pid=1, cmd=C.StatCmd(path="/d")),
+    )
+    assert classify_script(_script(*items)).verdict == WELL_FORMED
+    assert tuple(sanitize(list(items))) == items
+
+
+def test_report_render_explains_verdicts():
+    report = classify_script(_script(_step(C.Read(fd=9, count=1))))
+    text = report.render()
+    assert "doomed" in text
+    assert "fd 9" in text
+
+
+# -- rejects: the fuzzer's pre-execution triage -----------------------------
+
+def test_rejects_only_multi_call_error_soup():
+    soup = _script(_step(C.Read(fd=9, count=1)),
+                   _step(C.StatCmd(path="/nope")))
+    assert rejects(soup)
+    # Single-call probes of error clauses are legitimate tests.
+    assert not rejects(_script(_step(C.Read(fd=9, count=1))))
+    # One live call redeems the script.
+    assert not rejects(_script(
+        _step(C.Read(fd=9, count=1)),
+        _step(C.Mkdir(path="/d", mode=0o755))))
+
+
+def test_rejects_never_drops_a_handwritten_parity_script():
+    """Acceptance: the pre-rejection must not drop any script the
+    parity harness checks cleanly — the handwritten suite is exactly
+    that population."""
+    scripts = gen_handwritten_tests()
+    assert scripts
+    for script in scripts:
+        assert not rejects(script), script.name
+        report = classify_script(script)
+        assert report.verdict != ILL_FORMED, script.name
+        # Well-formed handwritten scripts pass sanitize untouched.
+        assert tuple(sanitize(list(script.items))) == script.items, \
+            script.name
+
+
+# -- the soundness property -------------------------------------------------
+
+def _doomed_ok_violations(script, quirks):
+    """(step verdict, concrete return) pairs where a doomed step
+    returned Ok under the real executor — must always be empty."""
+    report = classify_script(script, quirks=quirks)
+    steps = [sv for sv in report.steps
+             if isinstance(sv.item, ScriptStep)]
+    trace = execute_script(quirks, script)
+    events = trace.events
+    violations = []
+    cursor = 0
+    for k, event in enumerate(events):
+        label = event.label
+        if not isinstance(label, OsCall):
+            continue
+        while cursor < len(steps) and not (
+                steps[cursor].item.pid == label.pid
+                and steps[cursor].item.cmd == label.cmd):
+            cursor += 1  # the executor skipped these steps
+        if cursor == len(steps):
+            break
+        verdict = steps[cursor]
+        cursor += 1
+        outcome = events[k + 1].label if k + 1 < len(events) else None
+        if verdict.verdict == DOOMED and isinstance(outcome, OsReturn) \
+                and isinstance(outcome.ret, Ok):
+            violations.append((verdict, outcome))
+    return violations
+
+
+@pytest.mark.parametrize("config", ["linux_ext4", "osx_hfsplus",
+                                    "linux_posixovl_vfat",
+                                    "linux_hfsplus_trusty"])
+def test_doomed_steps_never_return_ok(config):
+    """Soundness on clean and quirky configurations, over seeded
+    random scripts, fuzz mutants and the handwritten suite."""
+    quirks = config_by_name(config)
+    rng = random.Random(5)
+    population = [random_script(seed, length=20)
+                  for seed in range(40)]
+    hand = gen_handwritten_tests()
+    population.extend(
+        mutate(hand[i % len(hand)], rng,
+               mate=population[i], name=f"m{i}")
+        for i in range(20))
+    population.extend(hand)
+    for script in population:
+        assert _doomed_ok_violations(script, quirks) == [], script.name

@@ -1,0 +1,162 @@
+"""Dead-clause analysis: verdicts, registry wiring, view agreement.
+
+The headline guarantees: the partial evaluator proves specific quirk
+clauses statically unreachable on specific platforms (never guessing —
+unknown is the safe default), and every consumer of the coverage
+denominator (``repro coverage``, the fuzz frontier, the guided bench)
+sees exactly the same dead sets, bit-for-bit.
+"""
+
+import json
+
+from repro.analysis.dead import (DEAD, REACHABLE, SPEC_MODULES, UNKNOWN,
+                                 analyze, dead_clause_report,
+                                 install_dead_clauses)
+from repro.core.coverage import CoverageRegistry, REGISTRY
+from repro.core.platform import SPECS
+
+
+def test_spec_modules_cover_every_declared_clause():
+    """Every registry declaration comes from a module the analysis
+    parses; a clause declared elsewhere would silently stay unknown."""
+    report = dead_clause_report()
+    modules = {site.module for site in report.sites}
+    assert modules <= set(SPEC_MODULES)
+    declared = set(REGISTRY.declarations())
+    clause_names = {site.clause for site in report.sites}
+    assert clause_names <= declared
+
+
+def test_headline_verdicts_write_zero_bad_fd_loose():
+    """The loose zero-byte-write clause is guarded by a spec switch
+    that is False on OS X and FreeBSD: provably dead there."""
+    report = dead_clause_report()
+    clause = "osapi.write.zero_bad_fd_loose"
+    assert report.verdicts["osx"][clause] == DEAD
+    assert report.verdicts["freebsd"][clause] == DEAD
+    assert report.verdicts["linux"][clause] != DEAD
+    assert report.verdicts["posix"][clause] != DEAD
+
+
+def test_headline_verdicts_pwrite_append_quirk():
+    report = dead_clause_report()
+    clause = "osapi.pwrite.append_quirk"
+    for platform in ("freebsd", "osx", "posix"):
+        assert report.verdicts[platform][clause] == DEAD, platform
+    assert report.verdicts["linux"][clause] != DEAD
+
+
+def test_headline_verdicts_link_either_resolution():
+    """POSIX leaves symlink-at-link behaviour open (either resolution);
+    every real platform pins it, killing the either-branch clause."""
+    report = dead_clause_report()
+    clause = "osapi.link.either_resolution"
+    for platform in ("freebsd", "linux", "osx"):
+        assert report.verdicts[platform][clause] == DEAD, platform
+    assert report.verdicts["posix"][clause] == REACHABLE
+
+
+def test_headline_verdicts_readlink_osx_trailing_quirk():
+    report = dead_clause_report()
+    clause = "osapi.readlink.osx_trailing_quirk"
+    for platform in ("freebsd", "linux", "posix"):
+        assert report.verdicts[platform][clause] == DEAD, platform
+    assert report.verdicts["osx"][clause] != DEAD
+
+
+def test_every_platform_has_some_dead_clause():
+    """Acceptance: >= 1 clause proven unreachable on >= 1 quirky
+    partition — in fact every modelled platform kills something."""
+    report = dead_clause_report()
+    for platform in sorted(SPECS):
+        assert report.dead(platform), platform
+
+
+def test_verdicts_partition_the_clause_set():
+    report = dead_clause_report()
+    clauses = {site.clause for site in report.sites}
+    for platform, verdicts in report.verdicts.items():
+        assert set(verdicts) == clauses, platform
+        for verdict in verdicts.values():
+            assert verdict in (DEAD, REACHABLE, UNKNOWN)
+
+
+def test_analyze_subset_of_platforms():
+    report = analyze(platforms=["osx"])
+    assert set(report.verdicts) == {"osx"}
+    assert report.dead("osx") == dead_clause_report().dead("osx")
+
+
+def test_sites_for_returns_guarded_sites():
+    report = dead_clause_report()
+    sites = report.sites_for("osapi.link.either_resolution")
+    assert sites
+    assert all(site.clause == "osapi.link.either_resolution"
+               for site in sites)
+    assert all(site.conds for site in sites)
+
+
+def test_to_dict_is_json_ready_and_sorted():
+    payload = dead_clause_report().to_dict()
+    json.dumps(payload)  # must not raise
+    assert payload["sites"] >= payload["clauses"] > 0
+    for platform, buckets in payload["platforms"].items():
+        assert set(buckets) == {DEAD, REACHABLE, UNKNOWN}
+        for names in buckets.values():
+            assert names == sorted(names)
+        # The buckets partition the clause set.
+        union = set().union(*map(set, buckets.values()))
+        assert len(union) == payload["clauses"]
+
+
+def test_install_excludes_dead_from_registry_views():
+    """install_static_dead removes dead clauses from the denominator,
+    the frontier, and the gap list — and annotates them on the report
+    instead of silently shrinking it."""
+    registry = CoverageRegistry()
+    registry.declare("quirk.only_a", platforms=("osx",))
+    registry.declare("generic.b")
+    registry.install_static_dead({"osx": ["quirk.only_a"]})
+
+    assert "quirk.only_a" not in registry.reachable_names("osx")
+    assert "generic.b" in registry.reachable_names("osx")
+    # Other platforms are untouched (the clause is osx-only anyway).
+    assert "quirk.only_a" not in registry.reachable_names("linux")
+
+    frontier = registry.frontier(set(), ["osx"])
+    assert "quirk.only_a" not in frontier["osx"]
+
+    report = registry.report_for(set(), "osx")
+    assert report.dead == ["quirk.only_a"]
+    assert "quirk.only_a" not in report.uncovered
+    assert report.total == 1  # only generic.b counts
+    assert "statically dead" in report.render()
+    assert report.to_dict()["dead"] == ["quirk.only_a"]
+
+
+def test_install_dead_clauses_is_idempotent():
+    first = install_dead_clauses()
+    before = {p: REGISTRY.statically_dead(p) for p in sorted(SPECS)}
+    second = install_dead_clauses()
+    after = {p: REGISTRY.statically_dead(p) for p in sorted(SPECS)}
+    assert first is second  # cached, one analysis per process
+    assert before == after
+
+
+def test_coverage_views_agree_bit_for_bit():
+    """The frontier the fuzzer chases, the statically_dead sets the
+    CLI annotates, and the report's dead list are all projections of
+    one installed analysis."""
+    report = install_dead_clauses()
+    for platform in sorted(SPECS):
+        dead = report.dead(platform)
+        assert REGISTRY.statically_dead(platform) == dead
+        reachable = REGISTRY.reachable_names(platform)
+        assert not (reachable & dead)
+        frontier = REGISTRY.frontier(set(), [platform])[platform]
+        assert not (set(frontier) & dead)
+        cov = REGISTRY.report_for(set(), platform)
+        # Dead clauses relevant to the platform appear in .dead, never
+        # in .uncovered; the two lists are disjoint projections.
+        assert not (set(cov.dead) & set(cov.uncovered))
+        assert set(cov.dead) <= dead

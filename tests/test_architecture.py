@@ -10,53 +10,12 @@ import ast
 import pathlib
 
 import repro
+# The layer table lives with the linter now (``repro lint`` enforces
+# it with call-graph depth this AST walk doesn't have); this test keeps
+# the cheap import-edge check in tier-1 against the same table.
+from repro.analysis.lint import LAYERS, layer_of as _layer_of
 
 SRC = pathlib.Path(repro.__file__).parent
-
-#: module prefix -> layer index (higher may import lower, not converse).
-LAYERS = {
-    "repro.util": 0,
-    "repro.core": 1,
-    "repro.state": 2,
-    "repro.perms": 3,
-    "repro.pathres": 4,
-    "repro.fsops": 5,
-    "repro.osapi": 6,
-    "repro.engine": 7,
-    "repro.checker": 8,
-    "repro.script": 8,
-    "repro.fsimpl": 9,
-    "repro.executor": 10,
-    "repro.testgen": 10,
-    "repro.oracle": 10,
-    "repro.gen": 11,
-    "repro.harness": 11,
-    # The campaign store sits beside the harness: the backends append
-    # to it, its merge view's *result* type comes from harness.merge
-    # (a lazy, same-layer import), and the api/service layers above
-    # wire it through.
-    "repro.store": 11,
-    # The persistent pool layer sits beside the harness (the sharded
-    # backend is built on it); the service front door (CheckingService,
-    # asyncio server, client) sits above the api facade.  Order
-    # matters: _layer_of returns the first matching prefix, so the
-    # more specific "repro.service.pool" must precede "repro.service".
-    "repro.service.pool": 11,
-    "repro.api": 12,
-    "repro.service": 13,
-    # The fuzzer drives whole Sessions (api) per iteration, so it sits
-    # above the facade, beside the service front door; the cli's
-    # ``fuzz`` verb is the only thing above it.
-    "repro.fuzz": 13,
-    "repro.cli": 14,
-}
-
-
-def _layer_of(module: str):
-    for prefix, layer in LAYERS.items():
-        if module == prefix or module.startswith(prefix + "."):
-            return layer
-    return None
 
 
 def _imports_of(path: pathlib.Path):
