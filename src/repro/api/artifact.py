@@ -19,7 +19,11 @@ reported by backends with a ``run_stats`` method; v5 extends
 (``epochs_published``, ``pool_cold_starts``, ``epochs_adopted``,
 ``verdict_hits``) — the layout itself is unchanged, the version bump
 marks that identical inputs now produce different (richer) stats
-dictionaries than a v4 writer would.  v1–v4 artifacts still load.
+dictionaries than a v4 writer would; v6 extends them again with the
+compiled-engine fast-path counters (``compiled_hits`` /
+``compiled_misses`` from :mod:`repro.engine.compiled`), reported by
+sharded runs unconditionally and by serial runs under a
+``compiled:*`` oracle.  v1–v5 artifacts still load.
 """
 
 from __future__ import annotations
@@ -40,12 +44,12 @@ from repro.script.parser import parse_trace
 from repro.script.printer import print_trace
 
 #: Bumped when the JSON layout changes incompatibly.
-FORMAT_VERSION = 5
+FORMAT_VERSION = 6
 
 #: Versions ``from_json`` still reads (v1 lacked plan provenance, v2
 #: the multi-platform conformance profiles, v3 the engine stats, v4
-#: the amortization counters).
-_READABLE_VERSIONS = (1, 2, 3, 4, 5)
+#: the amortization counters, v5 the compiled-engine counters).
+_READABLE_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 @dataclasses.dataclass(frozen=True)

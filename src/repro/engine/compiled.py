@@ -1,0 +1,618 @@
+"""Compiled spec automaton: dense int64 tables for int-array walking.
+
+The interned engine (:mod:`repro.engine.memo`) already reduces
+checking to integer-set operations, but every step still runs Python:
+a dict lookup per *state* per label (each lookup hashing the label),
+per-id loops, frozenset unions.  The shared-memory arena
+(:mod:`repro.engine.shard`) showed the way out — it packs a warmed
+:class:`~repro.engine.memo.TransitionMemo` into sorted little-endian
+``int64`` rows that are one binary search away from any successor — it
+just still consults those rows one ``(state, label)`` pair at a time.
+
+This module finishes the leap:
+
+* :class:`CompiledSpecTable` freezes one spec's memo rows into
+  contiguous ``array('q')`` columns — sorted ``state_id * slots +
+  label_id`` keys with CSR-style ``(offset, count)`` spans into a flat
+  successor (and tau-closure) value column — validated **loudly** on
+  construction: a truncated or misaligned table raises
+  :class:`CompiledTableError` instead of ever serving wrong rows.
+  Row lookup is :mod:`bisect` over the key column;
+  :meth:`CompiledSpecTable.batch_successors` gathers a whole id batch
+  in one pass (``numpy.searchsorted`` when numpy is importable, the
+  pure-``bisect`` loop otherwise — results are identical).
+* :class:`CompiledAutomaton` is the per-partition bundle: the distinct
+  labels (ids are list positions, exactly the arena's scheme), one
+  :class:`CompiledSpecTable` per spec, and a lazily built
+  :class:`CompiledWalker`.  ``compile()`` freezes a live memo set;
+  ``from_arena()`` re-freezes a published
+  :class:`~repro.engine.shard.ArenaReader` epoch **without** touching
+  the Python memo layout at all — the arena sections already *are*
+  this table shape, so adopting an epoch costs one column copy per
+  spec instead of a per-step binary search through Python.
+* :class:`CompiledWalker` walks whole traces as int operations: label
+  objects are hashed **once** per step (not once per tracked state),
+  state *sets* are interned to dense set-ids, and
+  ``(set_id, label_id) -> successor set_id`` / per-spec closure
+  results are memoized — a repeat-heavy suite spends one int-keyed
+  dict lookup per platform per label.  The walker answers only the
+  clean path; any complication — an unseen label or state row, a
+  deviation (empty successor set), a signal/spin, a state set past the
+  pruning bound — returns ``None`` and the caller falls back to the
+  exact Python loop, which also derives the missing rows so a later
+  recompilation picks them up.
+
+The tables are immutable snapshots of a memo that only ever grows, and
+intern ids are stable for a table's lifetime, so a compiled row can
+never go stale — it can only be *missing*, and missing rows fall back.
+Bit-for-bit parity with the uninterned loop is therefore structural
+(hit rows are the memo's own rows) and test-enforced like every other
+engine.  Coverage caveat: a compiled walk re-executes no transition
+bodies, so (like memo and prefix hits) it must never serve the
+coverage-collection path — callers only compile cache-backed oracles.
+"""
+
+from __future__ import annotations
+
+import array
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # Optional: the batch gather vectorizes when numpy is around.
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - stdlib-only container
+    _numpy = None
+
+from repro.core.labels import OsLabel, OsReturn, OsSignal, OsSpin
+from repro.engine.intern import InternTable
+from repro.engine.memo import TransitionMemo
+
+#: Batches below this size binary-search per id even when numpy is
+#: available: for the walker's typical 1-8 member sets the ndarray
+#: round trip costs more than the bisect loop it replaces.
+_NUMPY_BATCH_MIN = 32
+
+#: Identity-cached label ids before the walker resets the cache: the
+#: cache pins its labels (a recycled ``id()`` must be impossible), so
+#: a streaming campaign of never-repeated traces would otherwise keep
+#: every label it ever walked alive.  Repeat-heavy suites — the ones
+#: the cache exists for — stay far below the bound.
+_LID_CACHE_MAX = 65536
+
+
+class CompiledTableError(ValueError):
+    """A compiled table failed structural validation (truncated or
+    misaligned columns) — raised at construction, never served."""
+
+
+def _column(values) -> array.array:
+    if isinstance(values, array.array) and values.typecode == "q":
+        return values
+    return array.array("q", values)
+
+
+class CompiledSpecTable:
+    """One spec's frozen successor + tau-closure rows.
+
+    Transition rows are keyed by ``sid * slots + label_id`` (sorted,
+    strictly increasing); closure rows by ``sid``.  Each key row *i*
+    spans ``values[offs[i]:offs[i]+cnts[i]]`` in the flat value
+    column — the arena's exact packing, which is what makes
+    :meth:`CompiledAutomaton.from_arena` a plain column copy.
+    """
+
+    __slots__ = ("spec_name", "slots", "tkeys", "toffs", "tcnts",
+                 "tsuccs", "ckeys", "coffs", "ccnts", "cvals",
+                 "_np_tkeys")
+
+    def __init__(self, spec_name: str, slots: int, tkeys, toffs,
+                 tcnts, tsuccs, ckeys, coffs, ccnts, cvals) -> None:
+        self.spec_name = spec_name
+        self.slots = slots
+        self.tkeys = _column(tkeys)
+        self.toffs = _column(toffs)
+        self.tcnts = _column(tcnts)
+        self.tsuccs = _column(tsuccs)
+        self.ckeys = _column(ckeys)
+        self.coffs = _column(coffs)
+        self.ccnts = _column(ccnts)
+        self.cvals = _column(cvals)
+        self._np_tkeys = None
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.slots < 1:
+            raise CompiledTableError(
+                f"{self.spec_name}: label slots must be >= 1")
+        for kind, keys, offs, cnts, values in (
+                ("transition", self.tkeys, self.toffs, self.tcnts,
+                 self.tsuccs),
+                ("closure", self.ckeys, self.coffs, self.ccnts,
+                 self.cvals)):
+            n = len(keys)
+            if len(offs) != n or len(cnts) != n:
+                raise CompiledTableError(
+                    f"{self.spec_name}: misaligned {kind} columns "
+                    f"(keys={n}, offs={len(offs)}, cnts={len(cnts)})")
+            total = len(values)
+            for i in range(n):
+                if i and keys[i] <= keys[i - 1]:
+                    raise CompiledTableError(
+                        f"{self.spec_name}: {kind} keys not strictly "
+                        f"sorted at row {i}")
+                if cnts[i] < 0 or offs[i] < 0 \
+                        or offs[i] + cnts[i] > total:
+                    raise CompiledTableError(
+                        f"{self.spec_name}: {kind} row {i} spans "
+                        f"[{offs[i]}, {offs[i] + cnts[i]}) outside a "
+                        f"{total}-word value column (truncated "
+                        f"table?)")
+
+    @property
+    def rows(self) -> int:
+        return len(self.tkeys) + len(self.ckeys)
+
+    # -- single-row lookup ----------------------------------------------------
+
+    def _row(self, keys, offs, cnts, values,
+             key: int) -> Optional[Tuple[int, ...]]:
+        hit = bisect_left(keys, key)
+        if hit == len(keys) or keys[hit] != key:
+            return None
+        off = offs[hit]
+        return tuple(values[off:off + cnts[hit]])
+
+    def successor_row(self, sid: int,
+                      lid: int) -> Optional[Tuple[int, ...]]:
+        """Packed successor ids of ``(sid, lid)``; None when the row
+        was never derived (an **absent** row — a derived-but-stuck row
+        is present with an empty span)."""
+        return self._row(self.tkeys, self.toffs, self.tcnts,
+                         self.tsuccs, sid * self.slots + lid)
+
+    def closure_row(self, sid: int) -> Optional[Tuple[int, ...]]:
+        """Packed tau-closure ids of ``sid`` (always containing
+        ``sid`` itself), or None when never derived."""
+        return self._row(self.ckeys, self.coffs, self.ccnts,
+                         self.cvals, sid)
+
+    # -- batch gather ---------------------------------------------------------
+
+    def batch_successors(self, sids: Sequence[int], lid: int
+                         ) -> Optional[List[Tuple[int, ...]]]:
+        """Successor rows for a whole id batch, or None on *any* miss.
+
+        The all-or-nothing contract is the walker's: one unknown state
+        invalidates the compiled step, so there is no point gathering
+        the rest.  Large batches go through ``numpy.searchsorted``
+        (one vectorized descent for every key); small ones — and every
+        batch when numpy is absent — run the identical ``bisect``
+        loop.  Both paths return the same rows, property-tested.
+        """
+        if _numpy is not None and len(sids) >= _NUMPY_BATCH_MIN:
+            np_keys = self._np_tkeys
+            if np_keys is None:
+                np_keys = _numpy.frombuffer(self.tkeys,
+                                            dtype=_numpy.int64)
+                self._np_tkeys = np_keys
+            wanted = (_numpy.asarray(sids, dtype=_numpy.int64)
+                      * self.slots + lid)
+            hits = _numpy.searchsorted(np_keys, wanted)
+            n = len(np_keys)
+            out: List[Tuple[int, ...]] = []
+            for key, hit in zip(wanted.tolist(), hits.tolist()):
+                if hit == n or self.tkeys[hit] != key:
+                    return None
+                off = self.toffs[hit]
+                out.append(tuple(
+                    self.tsuccs[off:off + self.tcnts[hit]]))
+            return out
+        out = []
+        for sid in sids:
+            row = self.successor_row(sid, lid)
+            if row is None:
+                return None
+            out.append(row)
+        return out
+
+
+class CompiledAutomaton:
+    """A config partition's frozen engine: labels + per-spec tables.
+
+    Label ids are positions in ``labels`` (first-seen across the
+    memos, the arena's assignment); ``slots`` widens the composite
+    transition key.  Instances are immutable snapshots — a growing
+    memo is re-frozen by compiling again, never patched in place.
+    """
+
+    __slots__ = ("specs", "labels", "label_ids", "slots", "tables",
+                 "n_states", "_walker")
+
+    def __init__(self, specs: Tuple[str, ...],
+                 labels: Sequence[OsLabel], slots: int,
+                 tables: Sequence[CompiledSpecTable],
+                 n_states: int) -> None:
+        if len(specs) != len(tables):
+            raise CompiledTableError(
+                f"{len(specs)} specs but {len(tables)} tables")
+        self.specs = tuple(specs)
+        self.labels: Tuple[OsLabel, ...] = tuple(labels)
+        self.label_ids: Dict[OsLabel, int] = {
+            label: lid for lid, label in enumerate(self.labels)}
+        self.slots = slots
+        self.tables: Tuple[CompiledSpecTable, ...] = tuple(tables)
+        self.n_states = n_states
+        self._walker: Optional[CompiledWalker] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def compile(cls, table: InternTable,
+                memos: Sequence[TransitionMemo]
+                ) -> "CompiledAutomaton":
+        """Freeze a live table + memo set (the warmed state of one
+        cache partition) into dense columns."""
+        labels: List[OsLabel] = []
+        label_ids: Dict[OsLabel, int] = {}
+        for memo in memos:
+            for (_sid, label) in memo._trans:
+                if label not in label_ids:
+                    label_ids[label] = len(labels)
+                    labels.append(label)
+        if len(labels) >= (1 << _LID_SHIFT):
+            raise CompiledTableError(
+                f"{len(labels)} labels overflow the walker's "
+                f"{_LID_SHIFT}-bit label-id keys")
+        slots = max(1, len(labels))
+        tables = []
+        for memo in memos:
+            tkeys: List[int] = []
+            toffs: List[int] = []
+            tcnts: List[int] = []
+            tsuccs: List[int] = []
+            for key, succs in sorted(
+                    (sid * slots + label_ids[label], succs)
+                    for (sid, label), succs in memo._trans.items()):
+                tkeys.append(key)
+                toffs.append(len(tsuccs))
+                tcnts.append(len(succs))
+                tsuccs.extend(succs)
+            ckeys: List[int] = []
+            coffs: List[int] = []
+            ccnts: List[int] = []
+            cvals: List[int] = []
+            for sid, closed in sorted(memo._closures.items()):
+                ckeys.append(sid)
+                coffs.append(len(cvals))
+                ccnts.append(len(closed))
+                cvals.extend(sorted(closed))
+            tables.append(CompiledSpecTable(
+                memo.spec.name, slots, tkeys, toffs, tcnts, tsuccs,
+                ckeys, coffs, ccnts, cvals))
+        return cls(tuple(memo.spec.name for memo in memos), labels,
+                   slots, tables, len(table))
+
+    @classmethod
+    def from_arena(cls, reader) -> "CompiledAutomaton":
+        """Re-freeze a published arena epoch.
+
+        The arena's packed sections are byte-compatible with this
+        layout (same composite keys, same CSR spans), so a shard
+        worker compiles an adopted epoch with one column copy per spec
+        — after which trace walking never touches the arena buffer (or
+        its per-row Python binary search) again.  The copy also
+        detaches the automaton's lifetime from the reader's: epoch
+        swaps may close the old reader while verdicts built on the old
+        automaton are still in flight.
+        """
+        specs = tuple(reader.specs)
+        tables = [
+            CompiledSpecTable(spec, reader.packed_slots,
+                              **reader.packed_columns(spec))
+            for spec in specs]
+        return cls(specs, reader.labels, reader.packed_slots, tables,
+                   len(reader.states))
+
+    # -- lookup surface -------------------------------------------------------
+
+    def spec_index(self, name: str) -> int:
+        try:
+            return self.specs.index(name)
+        except ValueError:
+            raise KeyError(
+                f"automaton has no tables for spec {name!r}; "
+                f"compiled: {', '.join(self.specs)}") from None
+
+    def successors(self, spec: str, sid: int,
+                   label: OsLabel) -> Optional[Tuple[int, ...]]:
+        lid = self.label_ids.get(label)
+        if lid is None:
+            return None
+        return self.tables[self.spec_index(spec)].successor_row(sid,
+                                                                lid)
+
+    def closure(self, spec: str,
+                sid: int) -> Optional[Tuple[int, ...]]:
+        return self.tables[self.spec_index(spec)].closure_row(sid)
+
+    def batch_successors(self, spec: str, sids: Sequence[int],
+                         label: OsLabel
+                         ) -> Optional[List[Tuple[int, ...]]]:
+        lid = self.label_ids.get(label)
+        if lid is None:
+            return None
+        return self.tables[self.spec_index(spec)].batch_successors(
+            sids, lid)
+
+    def walker(self) -> "CompiledWalker":
+        """The automaton's shared walker (set-level memo included —
+        every oracle walking this automaton shares the warmed sets)."""
+        if self._walker is None:
+            self._walker = CompiledWalker(self)
+        return self._walker
+
+    def adopt_walker(self, previous: "CompiledAutomaton") -> None:
+        """Carry the previous automaton's walker memos into this one.
+
+        Called by re-compilation over the *same* intern table: state
+        ids (hence interned sets) are stable, label ids are prefix-
+        stable (labels are assigned first-seen over an append-only
+        memo), and every non-miss apply/closure result is a function
+        of memo rows that never change — so only the ``_MISS`` entries
+        (the very rows the recompilation exists to pick up) need to be
+        dropped.  Without this, each re-freeze would re-derive the
+        whole set-level memo from scratch.  Incompatible label prefixes
+        (never the case for same-table recompiles) fall back to a
+        fresh walker.
+        """
+        old = previous._walker
+        if old is None:
+            return
+        n_old = len(previous.labels)
+        if (len(previous.specs) == len(self.specs)
+                and self.labels[:n_old] == previous.labels):
+            self._walker = CompiledWalker(self, carry=old)
+
+    def stats(self) -> Dict[str, int]:
+        return {"compiled_states": self.n_states,
+                "compiled_labels": len(self.labels),
+                "compiled_rows": sum(t.rows for t in self.tables)}
+
+
+#: Walker sentinel: set-id 0 is the interned empty set, so any
+#: ``successor <= _EMPTY`` means "stop walking" (miss or deviation).
+_EMPTY = 0
+_MISS = -1
+
+#: Walker apply-memo keys pack ``set_id << _LID_SHIFT | label_id``.
+#: A fixed shift (rather than the automaton's ``slots``) keeps carried
+#: keys valid across recompilations, which widen the label space; one
+#: partition never approaches 2**20 distinct labels (the default plan
+#: yields a few hundred), and :meth:`CompiledAutomaton.compile` guards
+#: the bound loudly.
+_LID_SHIFT = 20
+
+
+class CompiledWalker:
+    """Set-level trace walking over a :class:`CompiledAutomaton`.
+
+    State *sets* are interned to dense ids exactly as states are, and
+    both ``(set_id, label_id)`` applications and per-spec closures are
+    memoized under flat int keys (``set_id << _LID_SHIFT | label_id``
+    and ``set_id * n_specs + spec_i``) — the warm path costs one
+    int-keyed dict lookup per platform per label, with the label
+    object hashed once ever (identity-cached).  Apply rows
+    come from spec 0's table: CALL / RETURN / CREATE / DESTROY
+    application never consults the spec (the vectored engine's
+    invariant, which is also why only memo 0 holds those rows); tau
+    closures are per spec.  Any miss is memoized as a miss: an
+    immutable table cannot acquire the row later.  Recompilation
+    carries everything *except* the misses forward
+    (:meth:`CompiledAutomaton.adopt_walker`) — state and label ids are
+    stable across a same-table re-freeze, so non-miss entries stay
+    valid verbatim.
+    """
+
+    __slots__ = ("automaton", "_sets", "_sizes", "_set_ids",
+                 "_singles", "_nspecs", "_apply", "_closures",
+                 "_lid_ids", "_lid_pins")
+
+    def __init__(self, automaton: CompiledAutomaton,
+                 carry: Optional["CompiledWalker"] = None) -> None:
+        self.automaton = automaton
+        self._nspecs = len(automaton.specs)
+        if carry is None:
+            self._sets: List[Tuple[int, ...]] = [()]
+            self._sizes: List[int] = [0]
+            self._set_ids: Dict[Tuple[int, ...], int] = {(): _EMPTY}
+            self._singles: Dict[int, int] = {}
+            # Flat int keys: ``set_id << _LID_SHIFT | lid`` and
+            # ``set_id * n_specs + spec_i`` — an int hashes in
+            # nanoseconds and allocates nothing, where a key tuple
+            # would do both per step.  The fixed shift (instead of the
+            # automaton's ``slots``) keeps keys stable when a
+            # recompilation widens the label space.
+            self._apply: Dict[int, int] = {}
+            self._closures: Dict[int, int] = {}
+            # Label ids memoized by object *identity*: hashing an
+            # OsLabel recursively hashes its nested payload
+            # (microseconds), and a repeat-heavy suite re-walks the
+            # very same label objects — ``_lid_pins`` holds a strong
+            # reference per cached label so a cached id() can never be
+            # recycled onto a different object.
+            self._lid_ids: Dict[int, int] = {}
+            self._lid_pins: List[OsLabel] = []
+        else:
+            # Adopted from the pre-recompilation walker (see
+            # CompiledAutomaton.adopt_walker): everything except the
+            # memoized *misses*, which the wider tables may now serve.
+            self._sets = carry._sets
+            self._sizes = carry._sizes
+            self._set_ids = carry._set_ids
+            self._singles = carry._singles
+            self._apply = {key: result
+                           for key, result in carry._apply.items()
+                           if result != _MISS}
+            self._closures = {key: result
+                              for key, result in
+                              carry._closures.items()
+                              if result != _MISS}
+            self._lid_ids = carry._lid_ids
+            self._lid_pins = carry._lid_pins
+
+    def _intern_set(self, members) -> int:
+        key = tuple(sorted(members))
+        set_id = self._set_ids.get(key)
+        if set_id is None:
+            set_id = len(self._sets)
+            self._set_ids[key] = set_id
+            self._sets.append(key)
+            self._sizes.append(len(key))
+        return set_id
+
+    def _single(self, sid: int) -> int:
+        set_id = self._singles.get(sid)
+        if set_id is None:
+            set_id = self._intern_set((sid,))
+            self._singles[sid] = set_id
+        return set_id
+
+    def _learn_label(self, label: OsLabel) -> int:
+        """Classify + full-hash lookup behind the identity cache.
+
+        The cached value packs ``label_id * 2 | is_return``, so the
+        walk's hot loop never re-hashes a label *or* re-classifies it
+        with isinstance.  Returns ``_MISS`` — uncached, an unpinned
+        ``id()`` could be recycled — for unknown labels and for
+        signals/spins (always a deviation, so always a fallback)."""
+        if isinstance(label, (OsSignal, OsSpin)):
+            return _MISS
+        lid = self.automaton.label_ids.get(label, _MISS)
+        if lid < 0:
+            return _MISS
+        tagged = lid * 2 + (1 if isinstance(label, OsReturn) else 0)
+        if len(self._lid_ids) >= _LID_CACHE_MAX:
+            self._lid_ids.clear()
+            self._lid_pins.clear()
+        self._lid_ids[id(label)] = tagged
+        self._lid_pins.append(label)
+        return tagged
+
+    def _derive_apply(self, set_id: int, lid: int) -> int:
+        rows = self.automaton.tables[0].batch_successors(
+            self._sets[set_id], lid)
+        if rows is None:
+            result = _MISS
+        else:
+            out: set = set()
+            for row in rows:
+                out.update(row)
+            result = self._intern_set(out)
+        self._apply[(set_id << _LID_SHIFT) | lid] = result
+        return result
+
+    def _derive_closure(self, spec_i: int, set_id: int) -> int:
+        table = self.automaton.tables[spec_i]
+        out: set = set()
+        result = _MISS
+        for sid in self._sets[set_id]:
+            row = table.closure_row(sid)
+            if row is None:
+                break
+            out.update(row)
+        else:
+            result = self._intern_set(out)
+        self._closures[set_id * self._nspecs + spec_i] = result
+        return result
+
+    def walk(self, creates: Sequence[OsLabel],
+             labels: Sequence[OsLabel], init_sid: int,
+             max_states: int) -> Optional[List[int]]:
+        """Walk one trace; per-platform ``max_state_set`` peaks, or
+        None when the compiled path cannot answer it.
+
+        ``creates`` are the implicit process-creation labels (applied
+        before the events, exactly as every Python loop does);
+        ``labels`` are the trace's event labels in order.  A non-None
+        result certifies the clean path: no deviations, no pruning,
+        every row served from the frozen tables — peaks are folded
+        after every label application and after the return-time
+        closures, bit-for-bit the checker's bookkeeping.  Everything
+        else (unknown label/state, signal/spin, empty successor set,
+        a set past ``max_states`` at a return) returns None for the
+        caller's exact fallback.
+        """
+        lid_ids = self._lid_ids
+        apply_memo = self._apply
+        closure_memo = self._closures
+        sizes = self._sizes
+        shift = _LID_SHIFT
+        n = self._nspecs
+        cur = [self._single(init_sid)] * n
+        maxs = [1] * n
+        label_ids = self.automaton.label_ids
+        for label in creates:
+            # Implicit-create labels are rebuilt per check, so their
+            # identities never repeat — look them up by value instead
+            # of churning (and pinning) the identity cache.
+            lid = label_ids.get(label, _MISS)
+            if lid < 0:
+                return None
+            for i in range(n):
+                nxt = apply_memo.get(cur[i] << shift | lid)
+                if nxt is None:
+                    nxt = self._derive_apply(cur[i], lid)
+                if nxt <= _EMPTY:
+                    return None
+                cur[i] = nxt
+                size = sizes[nxt]
+                if size > maxs[i]:
+                    maxs[i] = size
+        for label in labels:
+            tagged = lid_ids.get(id(label), _MISS)
+            if tagged < 0:
+                tagged = self._learn_label(label)
+                if tagged < 0:
+                    return None  # unknown label, or a signal/spin
+            lid = tagged >> 1
+            if tagged & 1:  # a RETURN: tau-close every platform first
+                for i in range(n):
+                    closed = closure_memo.get(cur[i] * n + i)
+                    if closed is None:
+                        closed = self._derive_closure(i, cur[i])
+                    if closed < _EMPTY:
+                        return None
+                    size = sizes[closed]
+                    if size > maxs[i]:
+                        maxs[i] = size
+                    cur[i] = closed
+                for i in range(n):
+                    nxt = apply_memo.get(cur[i] << shift | lid)
+                    if nxt is None:
+                        nxt = self._derive_apply(cur[i], lid)
+                    if nxt <= _EMPTY:
+                        return None
+                    cur[i] = nxt
+                    size = sizes[nxt]
+                    if size > maxs[i]:
+                        maxs[i] = size
+                    if size > max_states:
+                        # The Python loop would prune (and flag) here.
+                        return None
+            else:
+                for i in range(n):
+                    nxt = apply_memo.get(cur[i] << shift | lid)
+                    if nxt is None:
+                        nxt = self._derive_apply(cur[i], lid)
+                    if nxt <= _EMPTY:
+                        return None
+                    cur[i] = nxt
+                    size = sizes[nxt]
+                    if size > maxs[i]:
+                        maxs[i] = size
+        return maxs
+
+    def stats(self) -> Dict[str, int]:
+        return {"walker_sets": len(self._sets) - 1,
+                "walker_applications": len(self._apply),
+                "walker_closures": len(self._closures)}

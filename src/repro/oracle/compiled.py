@@ -1,0 +1,207 @@
+"""The compiled-engine oracle: frozen int tables, Python on miss.
+
+:class:`CompiledOracle` is a :class:`~repro.oracle.vectored.VectoredOracle`
+with a fast path in front of the exact loop.  After ``compile_after``
+checks have warmed the partition's
+:class:`~repro.engine.TransitionMemo` set, the oracle freezes it into a
+:class:`~repro.engine.compiled.CompiledAutomaton` and thereafter walks
+each trace with the automaton's shared
+:class:`~repro.engine.compiled.CompiledWalker` — whole traces as
+int-keyed dict lookups over dense ``int64`` tables, no per-state Python.
+
+The walker answers only the *clean* path (no deviations, no pruning,
+every row frozen).  Anything else — an unseen label or state, a
+signal/spin, an empty successor set, a state set past ``max_states`` —
+returns ``None``, the oracle counts a ``compiled_miss`` and re-checks
+the trace with the inherited Python loop, whose verdict is authoritative
+and whose derivations warm the memo for the next compilation.  After
+``recompile_misses`` misses the oracle re-freezes the (now larger) memo,
+so a workload that drifts into new states converges back onto the fast
+path.  Hits and misses surface in ``engine_stats`` (RunArtifact v6).
+
+The automaton is installed into the partition's
+:class:`~repro.oracle.cache.PrefixCache` slot
+(:meth:`~repro.oracle.cache.PrefixCache.compiled`), so every oracle
+sharing the partition shares one automaton and one warmed walker —
+the same contract as shared snapshots, and valid for the same reason:
+rows are keyed by the partition table's ids.
+
+Shard workers take a shortcut: :meth:`adopt_shared_memo` compiles the
+adopted arena epoch directly
+(:meth:`~repro.engine.compiled.CompiledAutomaton.from_arena` — the
+arena sections already have the table layout, so adoption is one column
+copy per spec), replacing the row-by-row arena binary searches with
+batch walks from the first post-adoption trace.
+
+Coverage caveat (the engine-wide one): a compiled hit re-executes no
+transition bodies, so specification-clause ``cover()`` calls never
+fire on the fast path.  An uncached oracle (``cache=False`` — the
+coverage-collection path) therefore never compiles; it behaves exactly
+like its parent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.checker.checker import TraceChecker, implicit_creates
+from repro.core.platform import PlatformSpec
+from repro.engine.compiled import CompiledAutomaton
+from repro.oracle.cache import PrefixCache
+from repro.oracle.vectored import VectoredOracle
+from repro.oracle.verdict import ConformanceProfile, Verdict
+from repro.osapi.os_state import initial_os_state
+from repro.script.ast import Trace
+
+#: Checks through the Python loop before the first freeze: compiling
+#: a cold memo would only compile misses.  Matches the sharded
+#: backend's default warmup batch.
+DEFAULT_COMPILE_AFTER = 16
+
+#: Fast-path misses tolerated before re-freezing the grown memo.
+DEFAULT_RECOMPILE_MISSES = 64
+
+
+class CompiledOracle(VectoredOracle):
+    """Vectored checking behind a compiled int-table fast path.
+
+    Verdicts are bit-for-bit the parent's (fast-path hits certify the
+    clean verdict the Python loop would produce; everything else *is*
+    the Python loop), pinned by the cross-engine parity harness.
+    """
+
+    def __init__(self, platforms: Sequence[Union[str, PlatformSpec]], *,
+                 groups: dict | None = None,
+                 max_states: int = TraceChecker.DEFAULT_MAX_STATES,
+                 default_uid: int = 0, default_gid: int = 0,
+                 cache: Union[PrefixCache, bool, None] = True,
+                 compile_after: int = DEFAULT_COMPILE_AFTER,
+                 recompile_misses: int = DEFAULT_RECOMPILE_MISSES
+                 ) -> None:
+        super().__init__(platforms, groups=groups,
+                         max_states=max_states,
+                         default_uid=default_uid,
+                         default_gid=default_gid, cache=cache)
+        self.compile_after = max(0, int(compile_after))
+        self.recompile_misses = max(1, int(recompile_misses))
+        self.compiled_hits = 0
+        self.compiled_misses = 0
+        self.compilations = 0
+        self._checks = 0
+        self._misses_at_compile = 0
+        self._automaton: Optional[CompiledAutomaton] = None
+        self._init_table = None
+        self._init_sid = 0
+
+    @property
+    def name(self) -> str:
+        return "compiled:" + super().name
+
+    # -- compilation ----------------------------------------------------------
+
+    def _compile(self) -> None:
+        table, memos = self._bind_engine()
+        automaton = CompiledAutomaton.compile(table, memos)
+        if self._automaton is not None:
+            # Re-freeze over the same table: carry the warmed walker
+            # memos, dropping only the misses the new rows may serve.
+            automaton.adopt_walker(self._automaton)
+        self._automaton = automaton
+        self.compilations += 1
+        self._misses_at_compile = self.compiled_misses
+        self._cache.install_compiled(self._cache_key, automaton)
+
+    def _refresh_automaton(self) -> None:
+        """Adopt the partition's shared automaton, or (re)freeze.
+
+        Another oracle on the same partition may have compiled (or
+        re-compiled) already — adopting its automaton also shares the
+        walker's warmed set-level memo.  Otherwise compile once enough
+        Python-loop checks have warmed the memo, and re-compile when
+        the fast path has drifted (``recompile_misses`` misses since
+        the last freeze mean the workload keeps reaching states the
+        frozen tables predate).
+        """
+        shared = self._cache.compiled(self._cache_key)
+        if shared is not self._automaton:
+            # Adopt whatever the partition holds now — including None
+            # after a ``cache.clear()``, whose fresh table re-mints
+            # every id and so invalidates any automaton held locally.
+            self._automaton = shared
+            if shared is not None:
+                self._misses_at_compile = self.compiled_misses
+                return
+        if self._automaton is None:
+            if self._checks >= self.compile_after:
+                self._compile()
+        elif (self.compiled_misses - self._misses_at_compile
+              >= self.recompile_misses):
+            self._compile()
+
+    def adopt_shared_memo(self, reader) -> None:
+        """Adopt an arena epoch *and* compile it.
+
+        The parent wires up :class:`~repro.engine.shard.ArenaReader`
+        fallback memos; the compiled layer then freezes the same
+        epoch's sections by column copy, so post-adoption traces walk
+        int tables instead of binary-searching the arena per row.  An
+        arena packing a different spec set than this oracle checks is
+        adopted memo-only (the walker indexes tables by platform
+        position, so order must match exactly).
+        """
+        super().adopt_shared_memo(reader)
+        automaton = CompiledAutomaton.from_arena(reader)
+        if automaton.specs == self.platforms:
+            self._automaton = automaton
+            self._misses_at_compile = self.compiled_misses
+            self._cache.install_compiled(self._cache_key, automaton)
+
+    # -- checking -------------------------------------------------------------
+
+    def _walk_compiled(self, trace: Trace) -> Optional[Verdict]:
+        automaton = self._automaton
+        table, _memos = self._bind_engine()
+        if table is self._init_table:
+            # The initial state's id is constant per partition table;
+            # re-derived only when ``cache.clear()`` swaps the table.
+            init_sid = self._init_sid
+        else:
+            init_sid = table.intern(initial_os_state(self.groups))
+            self._init_table = table
+            self._init_sid = init_sid
+        creates = implicit_creates(trace, self.default_uid,
+                                   self.default_gid)
+        labels = [event.label for event in trace.events]
+        maxs = automaton.walker().walk(creates, labels, init_sid,
+                                       self.max_states)
+        if maxs is None:
+            return None
+        n_labels = len(labels)
+        return Verdict(trace=trace, profiles=tuple(
+            ConformanceProfile(platform=platform, deviations=(),
+                               max_state_set=maxs[i],
+                               labels_checked=n_labels, pruned=False)
+            for i, platform in enumerate(self.platforms)))
+
+    def check(self, trace: Trace) -> Verdict:
+        if self._cache is not None:
+            self._refresh_automaton()
+            if self._automaton is not None:
+                verdict = self._walk_compiled(trace)
+                if verdict is not None:
+                    self.compiled_hits += 1
+                    self._checks += 1
+                    return verdict
+                self.compiled_misses += 1
+        self._checks += 1
+        return super().check(trace)
+
+    def engine_stats(self) -> dict:
+        """The fast path's counters (what backends fold into
+        ``engine_stats``), plus table sizes once compiled."""
+        stats = {"compiled_hits": self.compiled_hits,
+                 "compiled_misses": self.compiled_misses,
+                 "compilations": self.compilations}
+        if self._automaton is not None:
+            stats.update(self._automaton.stats())
+        return stats

@@ -58,7 +58,8 @@ from repro.script.printer import print_trace
 
 #: Stats keys each worker accumulates and reports on call barriers.
 _WORKER_COUNTERS = ("arena_hits", "arena_misses", "epochs_adopted",
-                    "epoch_attach_failures", "verdict_hits")
+                    "epoch_attach_failures", "verdict_hits",
+                    "compiled_hits", "compiled_misses")
 
 #: Bound on the per-worker verdict memo (entries, FIFO eviction).
 VERDICT_MEMO_MAX = 4096
@@ -87,7 +88,8 @@ class ShardWorkerState:
         self._oracles: Dict[str, Oracle] = {}
         self._readers: Dict[str, ArenaReader] = {}
         self._verdicts: "Dict[Tuple[str, str], tuple]" = {}
-        self._banked = {"arena_hits": 0, "arena_misses": 0}
+        self._banked = {"arena_hits": 0, "arena_misses": 0,
+                        "compiled_hits": 0, "compiled_misses": 0}
         self.epochs_adopted = 0
         self.epoch_attach_failures = 0
         self.verdict_hits = 0
@@ -141,6 +143,12 @@ class ShardWorkerState:
     def _bank_counters(self, oracle: Optional[Oracle]) -> None:
         # A replaced oracle's hit/miss history must survive into the
         # cumulative stats even though the oracle itself is dropped.
+        if oracle is None:
+            return
+        self._banked["compiled_hits"] += getattr(
+            oracle, "compiled_hits", 0)
+        self._banked["compiled_misses"] += getattr(
+            oracle, "compiled_misses", 0)
         if isinstance(oracle, VectoredOracle) and oracle.cache is not None:
             for memo in oracle.engine_snapshot()[1]:
                 self._banked["arena_hits"] += getattr(
@@ -176,6 +184,10 @@ class ShardWorkerState:
     def stats(self) -> Dict[str, int]:
         totals = dict(self._banked)
         for oracle in self._oracles.values():
+            totals["compiled_hits"] += getattr(
+                oracle, "compiled_hits", 0)
+            totals["compiled_misses"] += getattr(
+                oracle, "compiled_misses", 0)
             if isinstance(oracle, VectoredOracle) \
                     and oracle.cache is not None:
                 for memo in oracle.engine_snapshot()[1]:
@@ -732,6 +744,15 @@ class ArenaEpochs:
         misses = self.pool.run_stats().get("arena_misses", 0)
         return (misses - self._miss_floor.get(model, 0)
                 >= self.miss_watermark)
+
+    def compiled_totals(self) -> Dict[str, int]:
+        """Lifetime compiled-engine counters over the warm oracles
+        (zero for models whose oracle has no compiled fast path)."""
+        totals = {"compiled_hits": 0, "compiled_misses": 0}
+        for oracle in self._warm.values():
+            for key in totals:
+                totals[key] += getattr(oracle, key, 0)
+        return totals
 
     def publish(self, model: str) -> Optional[MemoArena]:
         """Cut a new epoch from the warm oracle and broadcast it."""

@@ -1,0 +1,308 @@
+"""The compiled engine's own pins (parity lives in the harness).
+
+``tests/test_engine_parity.py`` already proves bit-for-bit verdict
+parity for the registered ``compiled`` engine; this module pins the
+structural contracts underneath it:
+
+* every packed ``(state, label)`` row serves exactly what per-step
+  :class:`~repro.engine.TransitionMemo` derivation produced — and the
+  batch gather (numpy and pure-bisect paths alike) agrees with the
+  single-row lookup, all-or-nothing on a miss;
+* truncated or misaligned tables refuse to construct **loudly**;
+* the miss path: fallback verdicts are the Python loop's, misses are
+  counted into ``engine_stats``, and recompilation picks up states the
+  frozen tables predate (the interleaved hit/miss regression);
+* ``from_arena`` re-freezes a published epoch into the same rows the
+  live-memo compilation produces.
+"""
+
+import pytest
+
+from helpers_parity import handwritten_traces
+from repro.api import Session
+from repro.engine import (ArenaReader, CompiledAutomaton,
+                          CompiledSpecTable, CompiledTableError,
+                          MemoArena)
+from repro.engine import compiled as compiled_mod
+from repro.oracle import CompiledOracle, VectoredOracle
+
+PLATFORMS = ("linux", "posix")
+
+
+def _warm_snapshot(config="linux_ext4", platforms=PLATFORMS,
+                   traces=12):
+    """A genuinely warmed (table, memos) pair plus its automaton."""
+    oracle = VectoredOracle(platforms)
+    for trace in handwritten_traces(config)[:traces]:
+        oracle.check(trace)
+    table, memos = oracle.engine_snapshot()
+    return table, memos, CompiledAutomaton.compile(table, memos)
+
+
+class TestPackedRowsMatchMemo:
+    """The property the whole fast path rests on: frozen rows are the
+    memo's own rows, for every key the memo ever derived."""
+
+    def test_every_transition_row_matches_memo(self):
+        _table, memos, automaton = _warm_snapshot()
+        checked = 0
+        for memo in memos:
+            spec = memo.spec.name
+            for (sid, label), succs in memo._trans.items():
+                row = automaton.successors(spec, sid, label)
+                assert row == tuple(succs), (spec, sid, label)
+                checked += 1
+        assert checked > 100  # the suite genuinely warmed the memos
+
+    def test_every_closure_row_matches_memo(self):
+        _table, memos, automaton = _warm_snapshot()
+        for memo in memos:
+            spec = memo.spec.name
+            for sid, closed in memo._closures.items():
+                row = automaton.closure(spec, sid)
+                assert row == tuple(sorted(closed)), (spec, sid)
+                assert sid in row  # closures contain their seed
+
+    def test_absent_rows_are_none_not_wrong(self):
+        _table, memos, automaton = _warm_snapshot()
+        spec = memos[0].spec.name
+        ghost_sid = 10 ** 9  # never interned
+        assert automaton.successors(spec, ghost_sid,
+                                    next(iter(automaton.labels))) \
+            is None
+        assert automaton.closure(spec, ghost_sid) is None
+
+
+class TestBatchGather:
+    """batch_successors == per-id successor_row, on both code paths."""
+
+    def _known_pairs(self, automaton):
+        """(sids, lid) with every sid present in spec-0's table."""
+        table = automaton.tables[0]
+        slots = table.slots
+        by_lid = {}
+        for key in table.tkeys:
+            by_lid.setdefault(key % slots, []).append(key // slots)
+        lid, sids = max(by_lid.items(), key=lambda kv: len(kv[1]))
+        return sids, lid
+
+    def test_bisect_batch_equals_single_row(self):
+        _t, _m, automaton = _warm_snapshot()
+        table = automaton.tables[0]
+        sids, lid = self._known_pairs(automaton)
+        small = sids[:8]  # below _NUMPY_BATCH_MIN: always bisect
+        rows = table.batch_successors(small, lid)
+        assert rows == [table.successor_row(sid, lid)
+                        for sid in small]
+
+    def test_numpy_batch_equals_bisect_batch(self, monkeypatch):
+        _t, _m, automaton = _warm_snapshot()
+        table = automaton.tables[0]
+        sids, lid = self._known_pairs(automaton)
+        # Pad with repeats so the batch crosses the numpy threshold
+        # whatever the suite warmed.
+        batch = (sids * (compiled_mod._NUMPY_BATCH_MIN
+                         // max(1, len(sids)) + 1))
+        assert len(batch) >= compiled_mod._NUMPY_BATCH_MIN
+        vectorized = table.batch_successors(batch, lid)
+        monkeypatch.setattr(compiled_mod, "_numpy", None)
+        looped = table.batch_successors(batch, lid)
+        assert vectorized == looped
+        assert looped == [table.successor_row(sid, lid)
+                          for sid in batch]
+
+    def test_batch_is_all_or_nothing(self):
+        _t, _m, automaton = _warm_snapshot()
+        table = automaton.tables[0]
+        sids, lid = self._known_pairs(automaton)
+        poisoned = list(sids[:4]) + [10 ** 9]
+        assert table.batch_successors(poisoned, lid) is None
+        big = poisoned * compiled_mod._NUMPY_BATCH_MIN  # numpy path
+        assert table.batch_successors(big, lid) is None
+
+
+class TestTableValidation:
+    """Broken columns raise CompiledTableError at construction."""
+
+    def _columns(self):
+        _t, _m, automaton = _warm_snapshot(traces=4)
+        t = automaton.tables[0]
+        return dict(spec_name=t.spec_name, slots=t.slots,
+                    tkeys=list(t.tkeys), toffs=list(t.toffs),
+                    tcnts=list(t.tcnts), tsuccs=list(t.tsuccs),
+                    ckeys=list(t.ckeys), coffs=list(t.coffs),
+                    ccnts=list(t.ccnts), cvals=list(t.cvals))
+
+    def test_intact_columns_construct(self):
+        assert CompiledSpecTable(**self._columns()).rows > 0
+
+    def test_truncated_value_column_raises(self):
+        cols = self._columns()
+        cols["tsuccs"] = cols["tsuccs"][:-1]
+        with pytest.raises(CompiledTableError, match="truncated"):
+            CompiledSpecTable(**cols)
+
+    def test_truncated_closure_values_raise(self):
+        cols = self._columns()
+        cols["cvals"] = cols["cvals"][:len(cols["cvals"]) // 2]
+        with pytest.raises(CompiledTableError, match="truncated"):
+            CompiledSpecTable(**cols)
+
+    def test_misaligned_key_columns_raise(self):
+        cols = self._columns()
+        cols["toffs"] = cols["toffs"][:-1]
+        with pytest.raises(CompiledTableError, match="misaligned"):
+            CompiledSpecTable(**cols)
+
+    def test_unsorted_keys_raise(self):
+        cols = self._columns()
+        cols["tkeys"][0], cols["tkeys"][1] = (cols["tkeys"][1],
+                                              cols["tkeys"][0])
+        with pytest.raises(CompiledTableError, match="sorted"):
+            CompiledSpecTable(**cols)
+
+    def test_negative_span_raises(self):
+        cols = self._columns()
+        cols["tcnts"][0] = -2
+        with pytest.raises(CompiledTableError):
+            CompiledSpecTable(**cols)
+
+    def test_zero_slots_raise(self):
+        cols = self._columns()
+        cols["slots"] = 0
+        with pytest.raises(CompiledTableError, match="slots"):
+            CompiledSpecTable(**cols)
+
+    def test_spec_count_mismatch_raises(self):
+        _t, _m, automaton = _warm_snapshot(traces=4)
+        with pytest.raises(CompiledTableError, match="tables"):
+            CompiledAutomaton(("linux", "posix"), automaton.labels,
+                              automaton.slots, automaton.tables[:1],
+                              automaton.n_states)
+
+
+class TestMissPath:
+    """Misses fall back to the exact Python loop and are counted."""
+
+    def test_fallback_verdicts_match_python_loop(self):
+        traces = handwritten_traces("linux_sshfs_tmpfs")
+        compiled = CompiledOracle(PLATFORMS, compile_after=2,
+                                  recompile_misses=4)
+        plain = VectoredOracle(PLATFORMS)
+        for round_ in range(2):
+            for trace in traces:
+                got = compiled.check(trace)
+                want = plain.check(trace)
+                for g, w in zip(got.profiles, want.profiles):
+                    assert g == w, (round_, trace.name, g.platform)
+        # The quirky configuration deviates, so the fast path (which
+        # answers only the clean path) genuinely missed; the second
+        # round's clean re-checks hit the frozen tables.
+        assert compiled.compiled_misses > 0
+        assert compiled.compiled_hits > 0
+
+    def test_recompilation_picks_up_new_states(self):
+        """Interleaved hit/miss regression: drift past the frozen
+        tables triggers a re-freeze that converges back onto hits."""
+        traces = handwritten_traces("linux_ext4")
+        oracle = CompiledOracle(("linux",), compile_after=1,
+                                recompile_misses=2)
+        oracle.check(traces[0])          # Python loop, warms the memo
+        oracle.check(traces[0])          # freezes, then hits
+        assert oracle.compilations == 1
+        assert oracle.compiled_hits == 1
+        fresh = [t for t in traces[1:] if t.events][:2]
+        for trace in fresh:              # states the freeze predates
+            oracle.check(trace)
+        assert oracle.compiled_misses >= 2
+        before = oracle.compiled_hits
+        for trace in fresh:              # drift reached the watermark:
+            oracle.check(trace)          # re-freeze, then hit
+        assert oracle.compilations >= 2
+        assert oracle.compiled_hits > before
+        stats = oracle.engine_stats()
+        assert stats["compiled_misses"] == oracle.compiled_misses
+        assert stats["compiled_states"] > 0
+
+    def test_serial_session_surfaces_compiled_counters(self):
+        from repro.testgen.generator import gen_handwritten_tests
+
+        suite = gen_handwritten_tests()[:20]
+        with Session("linux_ext4", suite=suite,
+                     engine="compiled") as session:
+            artifact = session.run()
+        stats = dict(artifact.engine_stats)
+        assert "compiled_hits" in stats
+        assert "compiled_misses" in stats
+        # A fresh partition walks the Python loop first, so the run
+        # must have recorded activity on at least one side.
+        assert stats["compiled_hits"] + stats["compiled_misses"] > 0
+        with Session("linux_ext4", suite=suite) as session:
+            interned = session.run()
+        assert interned.engine_stats == ()  # v6 keeps serial quiet
+        assert [c.accepted for c in artifact.checked] == \
+            [c.accepted for c in interned.checked]
+
+    def test_compiled_engine_refuses_coverage(self):
+        with pytest.raises(ValueError, match="coverage"):
+            Session("linux_ext4", engine="compiled",
+                    collect_coverage=True)
+        with pytest.raises(ValueError, match="unknown engine"):
+            Session("linux_ext4", engine="jit")
+
+
+class TestFromArena:
+    """Adopting an epoch re-freezes the arena's own sections."""
+
+    def test_arena_rows_match_live_compilation(self):
+        oracle = VectoredOracle(PLATFORMS)
+        for trace in handwritten_traces("linux_ext4")[:12]:
+            oracle.check(trace)
+        table, memos = oracle.engine_snapshot()
+        live = CompiledAutomaton.compile(table, memos)
+        with MemoArena.create(table, memos) as arena:
+            with ArenaReader.attach(arena.handle()) as reader:
+                adopted = CompiledAutomaton.from_arena(reader)
+            # The reader is closed: the automaton must have copied —
+            # not borrowed — its columns to outlive the epoch swap.
+        assert adopted.specs == live.specs
+        assert adopted.slots == live.slots
+        for spec_i, spec in enumerate(adopted.specs):
+            atab = adopted.tables[spec_i]
+            for row_i, key in enumerate(atab.tkeys):
+                sid, lid = divmod(key, atab.slots)
+                off = atab.toffs[row_i]
+                got = tuple(atab.tsuccs[off:off + atab.tcnts[row_i]])
+                assert got == live.tables[spec_i].successor_row(
+                    sid, lid), (spec, sid, lid)
+            for row_i, sid in enumerate(atab.ckeys):
+                off = atab.coffs[row_i]
+                got = tuple(atab.cvals[off:off + atab.ccnts[row_i]])
+                assert got == live.tables[spec_i].closure_row(sid), \
+                    (spec, sid)
+
+    def test_walker_serves_adopted_epoch(self):
+        """End to end: verdicts off an adopted epoch are the Python
+        loop's, and the fast path really fires post-adoption."""
+        traces = handwritten_traces("linux_ext4")[:12]
+        warm = VectoredOracle(PLATFORMS)
+        for trace in traces:
+            warm.check(trace)
+        table, memos = warm.engine_snapshot()
+        plain = VectoredOracle(PLATFORMS)
+        with MemoArena.create(table, memos) as arena:
+            with ArenaReader.attach(arena.handle()) as reader:
+                oracle = CompiledOracle(PLATFORMS, cache=True)
+                oracle.adopt_shared_memo(reader)
+                for trace in traces:
+                    got = oracle.check(trace)
+                    want = plain.check(trace)
+                    assert [profile_tuple(p) for p in got.profiles] \
+                        == [profile_tuple(p) for p in want.profiles]
+        assert oracle.compiled_hits > 0
+
+
+def profile_tuple(profile):
+    return (profile.platform, profile.deviations,
+            profile.max_state_set, profile.labels_checked,
+            profile.pruned)

@@ -31,7 +31,7 @@ def test_registry_covers_every_engine():
     """The acceptance criterion: all four engines register here, and
     new engines get parity coverage by registering too."""
     assert {"uninterned", "interned", "vectored",
-            "sharded"} <= set(ENGINES)
+            "sharded", "compiled"} <= set(ENGINES)
 
 
 def test_profile_order_follows_oracle_platforms():

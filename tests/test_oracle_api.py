@@ -312,9 +312,9 @@ class TestSessionCheckOn:
 
 class TestRunArtifactV5:
     def test_engine_stats_round_trip(self):
-        """RunArtifact v5: shard counts, memo hit/miss stats and the
-        persistent-pool amortization counters from the sharded backend
-        survive an exact JSON round trip."""
+        """RunArtifact v5/v6: shard counts, memo hit/miss stats and
+        the persistent-pool amortization counters from the sharded
+        backend survive an exact JSON round trip."""
         from repro.api import ShardedBackend
 
         with ShardedBackend(2, warmup=2) as backend, \
@@ -331,10 +331,14 @@ class TestRunArtifactV5:
         assert stats["pool_cold_starts"] == 1
         assert stats["epochs_published"] == 1
         assert stats["epochs_adopted"] == 2  # one adoption per worker
+        # v6: compiled counters always present under sharding (zero
+        # when the run never routed a compiled oracle).
+        assert stats["compiled_hits"] == 0
+        assert stats["compiled_misses"] == 0
         assert artifact.failing  # deviations must survive the trip too
         assert RunArtifact.from_json(artifact.to_json()) == artifact
         payload = __import__("json").loads(artifact.to_json())
-        assert payload["format"] == 5
+        assert payload["format"] == 6
         assert payload["engine_stats"]["shards"] == 2
 
     def test_fixture_v4_loads(self):
@@ -348,6 +352,32 @@ class TestRunArtifactV5:
         reloaded = RunArtifact.from_json(artifact.to_json())
         assert reloaded.engine_stats == artifact.engine_stats
         assert reloaded.checked == artifact.checked
+
+    def test_fixture_v5_loads(self):
+        artifact = RunArtifact.load(FIXTURES / "artifact_v5.json")
+        assert artifact.total == 6
+        stats = dict(artifact.engine_stats)
+        assert stats["pool_cold_starts"] == 1
+        assert "compiled_hits" not in stats  # pre-v6 writer
+        # v5 round-trips through the v6 writer unchanged.
+        reloaded = RunArtifact.from_json(artifact.to_json())
+        assert reloaded.engine_stats == artifact.engine_stats
+        assert reloaded.checked == artifact.checked
+
+    def test_compiled_engine_counters_round_trip(self):
+        """RunArtifact v6: the compiled fast path's hit/miss counters
+        reach the artifact and survive the JSON trip."""
+        # Enough repeats to cross the oracle's compile_after warmup
+        # (16 checks) with plenty of post-freeze re-checks left.
+        with Session("linux_ext4", suite=SMALL_SUITE * 12,
+                     engine="compiled") as s:
+            artifact = s.run()
+        stats = dict(artifact.engine_stats)
+        assert stats["compiled_hits"] + stats["compiled_misses"] > 0
+        assert RunArtifact.from_json(artifact.to_json()) == artifact
+        payload = __import__("json").loads(artifact.to_json())
+        assert payload["format"] == 6
+        assert "compiled_misses" in payload["engine_stats"]
 
     def test_backends_without_run_stats_record_nothing(self):
         with Session("linux_ext4", suite=SMALL_SUITE) as s:

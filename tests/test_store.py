@@ -450,7 +450,7 @@ class TestCampaignDedup:
 
 
 class TestArtifactInterchange:
-    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
     def test_streaming_reader_matches_loader(self, version):
         path = FIXTURES / f"artifact_v{version}.json"
         artifact = RunArtifact.load(path)
@@ -480,7 +480,7 @@ class TestArtifactInterchange:
             exported = export_artifact(store, partition)
         assert exported.to_json() == artifact.to_json()
 
-    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
     def test_fixture_round_trips_through_store(self, version,
                                                tmp_path):
         path = FIXTURES / f"artifact_v{version}.json"
